@@ -1,0 +1,113 @@
+"""Fig. 5 reproduction: frequency response and relative error on ckt1.
+
+Fig. 5(a) plots the magnitude of transfer-function entry (1, 2) of ckt1 for
+the original model and the BDSM / PRIMA / SVDMOR / EKS ROMs (6 matched
+moments; EKS additionally with a large order), and Fig. 5(b) the relative
+errors.  The paper's observations, which this harness verifies:
+
+* PRIMA and BDSM overlap with the original curve (relative error below 1e-6
+  over the band where the grid has its dynamics),
+* SVDMOR's error is orders of magnitude larger (terminal reduction),
+* EKS is far off for an individual entry, and enlarging the EKS ROM does not
+  fix it because the ROM is tied to the assumed excitation.
+
+Run with ``pytest benchmarks/bench_fig5_accuracy.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import results_path
+from repro import (
+    FrequencyAnalysis,
+    bdsm_reduce,
+    eks_reduce,
+    prima_reduce,
+    svdmor_reduce,
+)
+from repro.io import write_table
+
+N_MOMENTS = 6
+ALPHA = 0.6
+OUTPUT, PORT = 0, 1          # the paper's "port (1,2)"
+OMEGA_MIN, OMEGA_MAX, N_POINTS = 1e5, 1e12, 15
+
+
+@pytest.fixture(scope="module")
+def roms(ckt1):
+    """All four ROMs of Fig. 5 plus the enlarged EKS model."""
+    eks_large_order = min(N_MOMENTS * ckt1.n_ports, 60)
+    return {
+        "BDSM": bdsm_reduce(ckt1, N_MOMENTS)[0],
+        "PRIMA": prima_reduce(ckt1, N_MOMENTS, deflation_tol=0.0)[0],
+        "SVDMOR": svdmor_reduce(ckt1, N_MOMENTS, alpha=ALPHA)[0],
+        f"EKS, order-{N_MOMENTS}": eks_reduce(ckt1, N_MOMENTS)[0],
+        f"EKS, order-{eks_large_order}":
+            eks_reduce(ckt1, eks_large_order)[0],
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep_report(ckt1, roms):
+    """The Fig. 5 data: magnitudes and relative errors over frequency."""
+    analysis = FrequencyAnalysis(omega_min=OMEGA_MIN, omega_max=OMEGA_MAX,
+                                 n_points=N_POINTS)
+    return analysis.compare(ckt1, roms, output=OUTPUT, port=PORT)
+
+
+def test_fig5_sweep_full_model(benchmark, ckt1):
+    """Time the reference sweep of the full model (one entry)."""
+    analysis = FrequencyAnalysis(omega_min=OMEGA_MIN, omega_max=OMEGA_MAX,
+                                 n_points=N_POINTS)
+    result = benchmark.pedantic(
+        lambda: analysis.sweep_entry(ckt1, OUTPUT, PORT),
+        rounds=1, iterations=1)
+    assert np.all(np.isfinite(result.values))
+
+
+@pytest.mark.parametrize("method", ["BDSM", "PRIMA", "SVDMOR"])
+def test_fig5_sweep_roms(benchmark, roms, method):
+    """Time the same sweep on each ROM (ROM sweeps are much cheaper)."""
+    analysis = FrequencyAnalysis(omega_min=OMEGA_MIN, omega_max=OMEGA_MAX,
+                                 n_points=N_POINTS)
+    rom = roms[method]
+    result = benchmark.pedantic(
+        lambda: analysis.sweep_entry(rom, OUTPUT, PORT),
+        rounds=1, iterations=1)
+    assert np.all(np.isfinite(result.values))
+
+
+def test_fig5_report_and_shape(benchmark, ckt1, roms, sweep_report):
+    """Write the Fig. 5 series and verify the paper's accuracy ordering."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    omegas = sweep_report["reference"]["omegas"]
+
+    rows = []
+    for k, omega in enumerate(omegas):
+        row = {"omega (rad/s)": float(omega),
+               "|H| original": float(
+                   sweep_report["reference"]["magnitude"][k])}
+        for name in roms:
+            row[f"relerr {name}"] = float(
+                sweep_report[name]["relative_error"][k])
+        rows.append(row)
+    text = write_table(rows, results_path("fig5.txt"),
+                       title=f"Fig. 5 ({ckt1.name}, entry "
+                             f"({OUTPUT + 1},{PORT + 1}), l={N_MOMENTS})")
+    print("\n" + text)
+
+    # Errors within the band where the grid has its dynamics (below the
+    # highest decade, where any finite-order ROM departs).
+    in_band = omegas <= 1e10
+    max_err = {name: float(np.max(
+        sweep_report[name]["relative_error"][in_band])) for name in roms}
+
+    assert max_err["BDSM"] < 1e-6
+    assert max_err["PRIMA"] < 1e-6
+    assert max_err["SVDMOR"] > 100 * max(max_err["BDSM"], max_err["PRIMA"])
+    eks_names = [name for name in roms if name.startswith("EKS")]
+    for name in eks_names:
+        assert max_err[name] > 1e-3
+        assert max_err[name] > 100 * max_err["BDSM"]

@@ -1,0 +1,126 @@
+"""Ablation: ROM reusability under changing excitations (Table I's last column).
+
+The paper argues that because MOR is much more expensive than simulating a
+ROM, an input-dependent ROM (EKS) that must be rebuilt for every new input
+pattern loses its cost advantage in practice, while BDSM's input-independent
+ROM is built once and reused.  This harness measures exactly that trade-off
+on a ckt1-class grid:
+
+* accuracy of the BDSM ROM and of a fixed EKS ROM across several excitation
+  patterns (the EKS ROM is only accurate for the pattern it assumed), and
+* the amortised cost of K analyses: (build once + K cheap transients) for
+  BDSM versus (rebuild + transient) x K for EKS.
+
+Run with ``pytest benchmarks/bench_reuse.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import results_path
+from repro import (
+    SourceBank,
+    TransientAnalysis,
+    bdsm_reduce,
+    eks_reduce,
+    make_benchmark,
+)
+from repro.analysis.sources import PulseSource, StepSource
+from repro.io import write_table
+
+N_MOMENTS = 6
+
+
+def _patterns(n_ports: int) -> dict[str, SourceBank]:
+    uniform = SourceBank.uniform(n_ports,
+                                 StepSource(1e-3, t0=2e-10, rise_time=1e-10))
+    hot = SourceBank(n_ports)
+    hot.assign(0, PulseSource(5e-3, period=2e-9, width=5e-10,
+                              rise=1e-10, fall=1e-10))
+    alternating = SourceBank(n_ports)
+    for port in range(0, n_ports, 2):
+        alternating.assign(port, StepSource(2e-3, t0=5e-10, rise_time=2e-10))
+    return {"uniform step": uniform, "single hot port": hot,
+            "alternating steps": alternating}
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    """A smoke-scale grid so the full-model reference transients stay cheap."""
+    return make_benchmark("ckt1", scale="smoke")
+
+
+def test_reuse_accuracy_across_patterns(benchmark, small_system):
+    """BDSM stays accurate for every pattern; EKS only for the assumed one."""
+    system = small_system
+    transient = TransientAnalysis(t_stop=3e-9, dt=2e-11)
+    bdsm_rom, _, _ = bdsm_reduce(system, N_MOMENTS)
+    eks_rom, _, _ = eks_reduce(system, N_MOMENTS)
+
+    def evaluate():
+        rows = []
+        for label, bank in _patterns(system.n_ports).items():
+            full = transient.run(system, bank)
+            scale = max(float(np.max(np.abs(full.outputs))), 1e-15)
+            rows.append({
+                "excitation": label,
+                "BDSM rel. error": transient.run(bdsm_rom, bank)
+                .max_abs_error_to(full) / scale,
+                "EKS rel. error": transient.run(eks_rom, bank)
+                .max_abs_error_to(full) / scale,
+            })
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    text = write_table(rows, results_path("reuse_accuracy.txt"),
+                       title=f"ROM reuse accuracy ({system.name})")
+    print("\n" + text)
+    by_label = {row["excitation"]: row for row in rows}
+    assert all(row["BDSM rel. error"] < 1e-6 for row in rows)
+    assert by_label["uniform step"]["EKS rel. error"] < 1e-6
+    assert by_label["single hot port"]["EKS rel. error"] > 1e-2
+    assert by_label["alternating steps"]["EKS rel. error"] > 1e-2
+
+
+def test_reuse_amortised_cost(benchmark, ckt1):
+    """Build-once-reuse (BDSM) vs rebuild-per-pattern (EKS) for K analyses."""
+    system = ckt1
+    n_patterns = 5
+    rng = np.random.default_rng(44)
+    weight_sets = [rng.uniform(0.0, 2.0, size=system.n_ports)
+                   for _ in range(n_patterns)]
+    omegas = np.logspace(6, 9, 4)
+
+    def bdsm_flow():
+        rom, _, _ = bdsm_reduce(system, N_MOMENTS)
+        for weights in weight_sets:
+            for omega in omegas:
+                rom.transfer_function(1j * omega) @ weights
+        return rom
+
+    def eks_flow():
+        for weights in weight_sets:
+            rom, _, _ = eks_reduce(system, N_MOMENTS, port_weights=weights)
+            for omega in omegas:
+                rom.transfer_function(1j * omega) @ weights
+        return rom
+
+    start = time.perf_counter()
+    bdsm_flow()
+    bdsm_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    eks_flow()
+    eks_seconds = time.perf_counter() - start
+    benchmark.pedantic(bdsm_flow, rounds=1, iterations=1)
+
+    rows = [{"flow": "BDSM build once + reuse", "seconds": bdsm_seconds},
+            {"flow": "EKS rebuild per pattern", "seconds": eks_seconds},
+            {"flow": "patterns analysed", "seconds": n_patterns}]
+    text = write_table(rows, results_path("reuse_cost.txt"),
+                       title=f"amortised cost over {n_patterns} input "
+                             f"patterns ({system.name})")
+    print("\n" + text)

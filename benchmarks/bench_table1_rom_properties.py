@@ -1,0 +1,88 @@
+"""Table I reproduction: qualitative comparison of multi-port MOR schemes.
+
+The paper's Table I compares BDSM, PRIMA, SVDMOR and EKS on four axes:
+ROM size, ROM pattern, matched moments and reusability.  Here each property
+is *measured* on a ckt1-class grid rather than asserted: the ROM sizes come
+from the actual reducer output, the pattern from the structure report, and
+the matched-moment count from direct moment comparison against the full
+model.
+
+Run with ``pytest benchmarks/bench_table1_rom_properties.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import results_path
+from repro import (
+    bdsm_reduce,
+    count_matched_moments,
+    eks_reduce,
+    prima_reduce,
+    svdmor_reduce,
+)
+from repro.io import write_table
+from repro.validation import rom_structure_report
+
+N_MOMENTS = 6
+ALPHA = 0.6
+
+# deflation_tol=0.0 keeps every (non-exactly-zero) Krylov vector so the ROM
+# sizes equal the nominal m*l / alpha*m*l / l values of the paper's Table I.
+REDUCERS = {
+    "BDSM": lambda system: bdsm_reduce(system, N_MOMENTS),
+    "PRIMA": lambda system: prima_reduce(system, N_MOMENTS,
+                                         deflation_tol=0.0),
+    "SVDMOR": lambda system: svdmor_reduce(system, N_MOMENTS, alpha=ALPHA,
+                                           deflation_tol=0.0),
+    "EKS": lambda system: eks_reduce(system, N_MOMENTS),
+}
+
+
+@pytest.fixture(scope="module")
+def table_rows(ckt1):
+    """Build every ROM once and measure the Table I properties."""
+    rows = []
+    for name, reducer in REDUCERS.items():
+        rom, _stats, _seconds = reducer(ckt1)
+        report = rom_structure_report(rom)
+        pattern = "block-diagonal" if report.block_sizes else "full dense"
+        matched = count_matched_moments(ckt1, rom, N_MOMENTS)
+        rows.append({
+            "MOR method": name,
+            "ROM size": rom.size,
+            "ROM pattern": pattern,
+            "matched moments": matched if matched else "N/A",
+            "ROM reusable?": "yes" if rom.reusable else "no",
+            "G density %": round(report.density_percent("G"), 2),
+        })
+    text = write_table(rows, results_path("table1.txt"),
+                       title=f"Table I ({ckt1.name}, l={N_MOMENTS}, "
+                             f"alpha={ALPHA})")
+    print("\n" + text)
+    return {row["MOR method"]: row for row in rows}
+
+
+@pytest.mark.parametrize("method", list(REDUCERS))
+def test_table1_reduction_time(benchmark, ckt1, table_rows, method):
+    """Time each reducer once (the qualitative table needs no repetition)."""
+    rom, _, _ = benchmark.pedantic(
+        lambda: REDUCERS[method](ckt1), rounds=1, iterations=1)
+    assert rom.size > 0
+
+
+def test_table1_shape_matches_paper(benchmark, ckt1, table_rows):
+    """The measured table must show the paper's qualitative pattern."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    m = ckt1.n_ports
+    assert table_rows["BDSM"]["ROM size"] == m * N_MOMENTS
+    assert table_rows["BDSM"]["ROM pattern"] == "block-diagonal"
+    assert table_rows["PRIMA"]["ROM pattern"] == "full dense"
+    assert table_rows["SVDMOR"]["ROM size"] <= round(ALPHA * m) * N_MOMENTS
+    assert table_rows["EKS"]["ROM size"] <= N_MOMENTS
+    assert table_rows["EKS"]["ROM reusable?"] == "no"
+    assert table_rows["BDSM"]["ROM reusable?"] == "yes"
+    assert table_rows["BDSM"]["matched moments"] == N_MOMENTS
+    assert table_rows["SVDMOR"]["matched moments"] == "N/A"
+    assert table_rows["EKS"]["matched moments"] == "N/A"

@@ -1,0 +1,50 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4 for the experiment index).  Timings are taken with
+pytest-benchmark; the table/figure *content* (rows, error series, densities)
+is printed to stdout and appended to ``benchmarks/results/``.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    Benchmark grid scale: ``smoke`` (seconds, tiny grids) or ``laptop``
+    (default — the scaled-down Table II sizes described in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import make_benchmark
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The grid scale selected for this benchmark run."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+    if scale not in ("smoke", "laptop", "paper"):
+        raise ValueError(f"unsupported REPRO_BENCH_SCALE={scale!r}")
+    return scale
+
+
+def results_path(name: str) -> Path:
+    """Path of a results file, creating the directory on first use."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / name
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Session-wide benchmark scale."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def ckt1(scale):
+    """The ckt1 benchmark at the selected scale (used by several figures)."""
+    return make_benchmark("ckt1", scale=scale)

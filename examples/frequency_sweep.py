@@ -1,0 +1,63 @@
+"""Frequency-response comparison of all reducers (the Fig. 5 experiment).
+
+Sweeps one transfer-matrix entry — port (1, 2) as in the paper — of a
+ckt1-style grid for the full model and for BDSM, PRIMA, SVDMOR and EKS
+ROMs, then prints the magnitude and relative-error series as text columns
+(the same data Fig. 5(a)/(b) plots).
+
+Run with::
+
+    python examples/frequency_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FrequencyAnalysis,
+    bdsm_reduce,
+    eks_reduce,
+    make_benchmark,
+    prima_reduce,
+    svdmor_reduce,
+)
+
+N_MOMENTS = 6
+OUTPUT, PORT = 0, 1      # "port (1,2)" in the paper's 1-based indexing
+
+
+def main() -> None:
+    system = make_benchmark("ckt1", scale="smoke")
+    print(f"benchmark: {system.name}  "
+          f"(n={system.size}, m={system.n_ports})")
+    print(f"sweeping H[{OUTPUT + 1},{PORT + 1}] with {N_MOMENTS} matched "
+          f"moments per method\n")
+
+    roms = {
+        "BDSM": bdsm_reduce(system, N_MOMENTS)[0],
+        "PRIMA": prima_reduce(system, N_MOMENTS)[0],
+        "SVDMOR": svdmor_reduce(system, N_MOMENTS, alpha=0.6)[0],
+        "EKS": eks_reduce(system, N_MOMENTS)[0],
+    }
+
+    analysis = FrequencyAnalysis(omega_min=1e5, omega_max=1e12, n_points=13)
+    report = analysis.compare(system, roms, output=OUTPUT, port=PORT)
+
+    header = f"{'omega (rad/s)':>14} {'|H| full':>12}"
+    for name in roms:
+        header += f" {'err ' + name:>12}"
+    print(header)
+    omegas = report["reference"]["omegas"]
+    for k, omega in enumerate(omegas):
+        row = f"{omega:>14.3e} {report['reference']['magnitude'][k]:>12.4e}"
+        for name in roms:
+            row += f" {report[name]['relative_error'][k]:>12.3e}"
+        print(row)
+
+    print("\nExpected shape (paper Fig. 5b): BDSM and PRIMA errors sit many "
+          "orders of magnitude below the terminal-reduced SVDMOR model, and "
+          "the input-dependent EKS model cannot reproduce individual "
+          "transfer-matrix entries either.")
+
+
+if __name__ == "__main__":
+    main()

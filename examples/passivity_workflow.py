@@ -1,0 +1,70 @@
+"""Passivity post-processing of a BDSM ROM (the paper's Sec. III-D workflow).
+
+The reduced immittance model of a power grid may be weakly non-passive after
+a one-sided congruence projection.  Thanks to the block-diagonal structure,
+checking and (if needed) repairing passivity is cheap: every block is
+converted to standard state space, eigen-diagonalised at ``O(l^3)``, scanned
+on a Laguerre frequency grid, and perturbed only if a violation shows up.
+
+Run with::
+
+    python examples/passivity_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    bdsm_reduce,
+    enforce_passivity,
+    hamiltonian_passivity_test,
+    laguerre_passivity_scan,
+    make_benchmark,
+)
+from repro.passivity import descriptor_to_state_space, diagonalize_state_space
+
+
+def main() -> None:
+    system = make_benchmark("ckt1", scale="smoke")
+    rom, _, _ = bdsm_reduce(system, n_moments=4)
+    print(f"benchmark: {system.name} -> BDSM ROM with {rom.n_blocks} blocks "
+          f"of order {rom.n_moments}\n")
+
+    # Our MNA sign convention gives H = -Z for current-driven port voltages;
+    # flip the outputs so the scanned quantity is the impedance matrix.
+    for block in rom.blocks:
+        block.L = -block.L
+
+    # --- cheap structured scan over the whole ROM ---------------------------
+    scan = laguerre_passivity_scan(rom, n_points=24, time_scale=1e-12)
+    print("Laguerre-grid scan of the block-diagonal ROM")
+    print(f"  passive: {scan.is_passive}")
+    print(f"  worst Hermitian-part eigenvalue: {scan.worst_eigenvalue:.3e} "
+          f"at {scan.worst_frequency:.3e} rad/s")
+
+    # --- per-block Hamiltonian test + enforcement ---------------------------
+    # Each block feeds one port; its driving-point contribution (output at
+    # the same port it is driven from) is a 1x1 immittance that must be
+    # positive real, so that is what the Hamiltonian test examines.
+    print("\nper-block Hamiltonian test of the driving-point contribution")
+    repaired = 0
+    for block in rom.blocks[:5]:        # first few blocks, for illustration
+        model = descriptor_to_state_space(
+            block.C, block.G, block.b.reshape(-1, 1),
+            block.L[block.index:block.index + 1, :])
+        diag = diagonalize_state_space(model)
+        report = hamiltonian_passivity_test(diag)
+        status = "passive" if report.is_passive else "NON-passive"
+        print(f"  block {block.index:>3}: poles in LHP={model.is_stable()}, "
+              f"{status}, worst eig {report.worst_eigenvalue:.2e}")
+        if not report.is_passive:
+            result = enforce_passivity(diag, report)
+            repaired += 1
+            print(f"    -> repaired with feedthrough shift "
+                  f"{result.perturbation:.3e}")
+    if repaired == 0:
+        print("\nNo block needed enforcement — as the paper notes, "
+              "non-passivity 'seldom occurs' for BDSM ROMs of RLC grids.")
+
+
+if __name__ == "__main__":
+    main()

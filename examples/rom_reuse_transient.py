@@ -1,0 +1,79 @@
+"""ROM reusability: one BDSM model, many excitations — versus EKS.
+
+The paper's central practical argument against EKS/TBS is that their ROMs
+are built *for one specific excitation* and must be rebuilt whenever the
+input pattern changes, while BDSM ROMs are input-independent and can be
+reused.  This script demonstrates exactly that with transient simulations:
+
+1. build one BDSM ROM and one EKS ROM (EKS assumes all ports switch
+   together, the same assumption as in the paper's experiments),
+2. drive the grid with three different excitation patterns,
+3. compare each ROM's transient output against the full model.
+
+The BDSM ROM stays accurate for every pattern; the EKS ROM is only accurate
+for the pattern it was built for.
+
+Run with::
+
+    python examples/rom_reuse_transient.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SourceBank,
+    TransientAnalysis,
+    bdsm_reduce,
+    eks_reduce,
+    make_benchmark,
+)
+from repro.analysis.sources import PulseSource, StepSource
+
+
+def excitation_patterns(n_ports: int) -> dict[str, SourceBank]:
+    """Three load patterns: the assumed one plus two it was not built for."""
+    all_switching = SourceBank.uniform(
+        n_ports, StepSource(1e-3, t0=2e-10, rise_time=1e-10))
+
+    single_hot = SourceBank(n_ports)
+    single_hot.assign(0, PulseSource(amplitude=5e-3, period=2e-9,
+                                     width=5e-10, rise=1e-10, fall=1e-10))
+
+    alternating = SourceBank(n_ports)
+    for port in range(0, n_ports, 2):
+        alternating.assign(port, StepSource(2e-3, t0=5e-10, rise_time=2e-10))
+    return {
+        "all ports switching (assumed by EKS)": all_switching,
+        "single hot port": single_hot,
+        "alternating ports": alternating,
+    }
+
+
+def main() -> None:
+    system = make_benchmark("ckt1", scale="smoke")
+    print(f"benchmark: {system.name}  "
+          f"(n={system.size}, m={system.n_ports})\n")
+
+    bdsm_rom, _, _ = bdsm_reduce(system, n_moments=6)
+    eks_rom, _, _ = eks_reduce(system, n_moments=6)   # assumes uniform inputs
+    print(f"BDSM ROM size {bdsm_rom.size} (reusable), "
+          f"EKS ROM size {eks_rom.size} (built for one excitation)\n")
+
+    transient = TransientAnalysis(t_stop=4e-9, dt=2e-11)
+    print(f"{'excitation pattern':<40} {'BDSM error':>12} {'EKS error':>12}")
+    for label, bank in excitation_patterns(system.n_ports).items():
+        full = transient.run(system, bank)
+        scale = max(float(np.max(np.abs(full.outputs))), 1e-15)
+        err_bdsm = transient.run(bdsm_rom, bank).max_abs_error_to(full) / scale
+        err_eks = transient.run(eks_rom, bank).max_abs_error_to(full) / scale
+        print(f"{label:<40} {err_bdsm:>12.2e} {err_eks:>12.2e}")
+
+    print("\nThe BDSM ROM tracks the full model for every pattern; the EKS "
+          "ROM degrades as soon as the excitation deviates from the one it "
+          "was built for, which is why the paper calls it non-reusable.")
+
+
+if __name__ == "__main__":
+    main()

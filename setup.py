@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in offline
+environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

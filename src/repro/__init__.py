@@ -1,0 +1,133 @@
+"""repro — reproduction of "A Block-Diagonal Structured Model Reduction
+Scheme for Power Grid Networks" (Zhang, Hu, Cheng, Wong — DATE 2011).
+
+The package implements the BDSM algorithm (block-diagonal structured model
+order reduction), the full power-grid substrate it operates on (netlists,
+MNA stamping, synthetic industrial-style benchmarks), the baseline reducers
+it is compared against (PRIMA, SVDMOR, EKS, multi-point projection, PMTBR),
+frequency/transient simulation of both full and reduced models, and the
+passivity post-processing the paper sketches.
+
+Quick start
+-----------
+>>> from repro import make_benchmark, bdsm_reduce, prima_reduce
+>>> system = make_benchmark("ckt1", scale="smoke")
+>>> rom, stats, seconds = bdsm_reduce(system, n_moments=4)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+scripts that regenerate every table and figure of the paper.
+"""
+
+from repro.analysis import (
+    FrequencyAnalysis,
+    FrequencySweepResult,
+    IRDropResult,
+    SourceBank,
+    TransientAnalysis,
+    TransientResult,
+    ir_drop_analysis,
+)
+from repro.circuit import (
+    DescriptorSystem,
+    Netlist,
+    PowerGridSpec,
+    assemble_mna,
+    benchmark_names,
+    build_power_grid,
+    make_benchmark,
+    parse_netlist,
+    parse_netlist_file,
+    write_netlist,
+)
+from repro.core import (
+    BDSMOptions,
+    BlockDiagonalROM,
+    bdsm_reduce,
+    multipoint_bdsm_reduce,
+)
+from repro.exceptions import (
+    CircuitError,
+    NetlistParseError,
+    PassivityError,
+    ReductionError,
+    ReproError,
+    ResourceBudgetExceeded,
+    SimulationError,
+    SingularSystemError,
+    StampingError,
+    ValidationError,
+)
+from repro.mor import (
+    ReducedSystem,
+    ReductionSummary,
+    ResourceBudget,
+    eks_reduce,
+    multipoint_prima_reduce,
+    pmtbr_reduce,
+    prima_reduce,
+    svdmor_reduce,
+)
+from repro.passivity import (
+    enforce_passivity,
+    hamiltonian_passivity_test,
+    laguerre_passivity_scan,
+)
+from repro.validation import (
+    count_matched_moments,
+    max_relative_error,
+    relative_error_curve,
+    rom_structure_report,
+    verify_moment_matching,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDSMOptions",
+    "BlockDiagonalROM",
+    "CircuitError",
+    "DescriptorSystem",
+    "FrequencyAnalysis",
+    "FrequencySweepResult",
+    "IRDropResult",
+    "Netlist",
+    "NetlistParseError",
+    "PassivityError",
+    "PowerGridSpec",
+    "ReducedSystem",
+    "ReductionError",
+    "ReductionSummary",
+    "ReproError",
+    "ResourceBudget",
+    "ResourceBudgetExceeded",
+    "SimulationError",
+    "SingularSystemError",
+    "SourceBank",
+    "StampingError",
+    "TransientAnalysis",
+    "TransientResult",
+    "ValidationError",
+    "assemble_mna",
+    "bdsm_reduce",
+    "benchmark_names",
+    "build_power_grid",
+    "count_matched_moments",
+    "eks_reduce",
+    "enforce_passivity",
+    "hamiltonian_passivity_test",
+    "ir_drop_analysis",
+    "laguerre_passivity_scan",
+    "make_benchmark",
+    "max_relative_error",
+    "multipoint_bdsm_reduce",
+    "multipoint_prima_reduce",
+    "parse_netlist",
+    "parse_netlist_file",
+    "pmtbr_reduce",
+    "prima_reduce",
+    "relative_error_curve",
+    "rom_structure_report",
+    "svdmor_reduce",
+    "verify_moment_matching",
+    "write_netlist",
+]

@@ -1,0 +1,37 @@
+"""Simulation substrate: frequency sweeps, transient integration, IR drop.
+
+These analyses operate uniformly on any object exposing the descriptor
+quadruple ``(C, G, B, L)`` — the full MNA model, a dense PRIMA/SVDMOR/EKS
+ROM, or a BDSM :class:`~repro.core.structured_rom.BlockDiagonalROM` — so the
+benchmark harness can compare "simulate the full model" against "simulate
+the ROM" without special cases.
+"""
+
+from repro.analysis.frequency import FrequencyAnalysis, FrequencySweepResult
+from repro.analysis.ir_drop import IRDropResult, ir_drop_analysis
+from repro.analysis.sources import (
+    ConstantSource,
+    PiecewiseLinearSource,
+    PulseSource,
+    SourceBank,
+    StepSource,
+    UnitImpulseSource,
+    Waveform,
+)
+from repro.analysis.transient import TransientAnalysis, TransientResult
+
+__all__ = [
+    "ConstantSource",
+    "FrequencyAnalysis",
+    "FrequencySweepResult",
+    "IRDropResult",
+    "PiecewiseLinearSource",
+    "PulseSource",
+    "SourceBank",
+    "StepSource",
+    "TransientAnalysis",
+    "TransientResult",
+    "UnitImpulseSource",
+    "Waveform",
+    "ir_drop_analysis",
+]

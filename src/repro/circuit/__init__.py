@@ -1,0 +1,65 @@
+"""Circuit substrate: elements, netlists, MNA stamping and grid generators.
+
+This package implements everything the paper assumes as given: an RLC
+power-grid netlist (Fig. 3 of the paper) and the modified-nodal-analysis
+descriptor model ``C dx/dt = G x + B u, y = L x`` extracted from it.
+
+Contents
+--------
+``elements``
+    Dataclasses for resistors, capacitors, inductors, current and voltage
+    sources.
+``netlist``
+    The :class:`~repro.circuit.netlist.Netlist` container with node
+    bookkeeping and consistency checks.
+``parser``
+    A SPICE-subset parser / writer round-tripping ``.sp`` decks.
+``mna``
+    Stamping of a netlist into the :class:`~repro.circuit.mna.DescriptorSystem`
+    quadruple ``(C, G, B, L)``.
+``powergrid``
+    Parameterised RC/RLC power-grid mesh generator with package inductance.
+``benchmarks``
+    The ``ckt1``–``ckt5`` style synthetic industrial benchmarks used by the
+    Table II / Fig. 4 / Fig. 5 reproductions.
+"""
+
+from repro.circuit.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    make_benchmark,
+)
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.mna import DescriptorSystem, assemble_mna
+from repro.circuit.netlist import Netlist
+from repro.circuit.parser import parse_netlist, parse_netlist_file, write_netlist
+from repro.circuit.powergrid import PowerGridSpec, build_power_grid
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "Capacitor",
+    "CurrentSource",
+    "DescriptorSystem",
+    "Element",
+    "Inductor",
+    "Netlist",
+    "PowerGridSpec",
+    "Resistor",
+    "VoltageSource",
+    "assemble_mna",
+    "benchmark_names",
+    "build_power_grid",
+    "make_benchmark",
+    "parse_netlist",
+    "parse_netlist_file",
+    "write_netlist",
+]

@@ -1,0 +1,164 @@
+"""Synthetic equivalents of the paper's industrial benchmarks ckt1-ckt5.
+
+Table II of the paper uses five proprietary power-grid netlists with node
+counts between 6k and 1.7M and port counts between 51 and 1429.  Those
+netlists are not available, so this module generates structurally equivalent
+synthetic grids with :mod:`repro.circuit.powergrid` at three sizes:
+
+``paper``
+    Node and port counts matching the paper as closely as a rectangular mesh
+    allows (ckt5 remains enormous and is only meant for reference).
+``laptop`` (default)
+    Scaled-down grids that preserve the *ratios* the paper's comparisons rely
+    on (many ports, n >> m, RLC package) while fitting comfortably in laptop
+    memory.  This is what the benchmark harness uses.
+``smoke``
+    Tiny grids for unit and integration tests.
+
+The port counts are kept at (or near) the paper's values wherever feasible,
+because the whole point of the paper is behaviour as the port count grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.mna import DescriptorSystem, assemble_mna
+from repro.circuit.netlist import Netlist
+from repro.circuit.powergrid import PowerGridSpec, build_power_grid
+from repro.exceptions import CircuitError
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "benchmark_names", "make_benchmark",
+           "make_benchmark_netlist"]
+
+#: Scales supported by :func:`make_benchmark`.
+SCALES = ("smoke", "laptop", "paper")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Size parameters of one synthetic benchmark at every scale.
+
+    Attributes
+    ----------
+    name:
+        Benchmark identifier (``"ckt1"`` ... ``"ckt5"``).
+    paper_nodes, paper_ports:
+        Node/port counts reported in Table II of the paper (for reference and
+        for the EXPERIMENTS.md bookkeeping).
+    grids:
+        Mapping ``scale -> (rows, cols, n_ports, n_pads)`` actually generated.
+    matched_moments:
+        The ``l`` used for this benchmark in Table II.
+    rlc:
+        Whether the benchmark includes package inductance.
+    """
+
+    name: str
+    paper_nodes: int
+    paper_ports: int
+    grids: dict
+    matched_moments: int
+    rlc: bool = True
+
+    def grid_spec(self, scale: str, seed: int | None = None) -> PowerGridSpec:
+        """Return the :class:`PowerGridSpec` for ``scale``."""
+        if scale not in self.grids:
+            raise CircuitError(
+                f"benchmark {self.name!r} has no {scale!r} scale; "
+                f"available: {sorted(self.grids)}")
+        rows, cols, n_ports, n_pads = self.grids[scale]
+        return PowerGridSpec(
+            rows=rows,
+            cols=cols,
+            n_ports=n_ports,
+            n_pads=n_pads,
+            package_inductance=1e-12 if self.rlc else 0.0,
+            seed=self._seed(scale) if seed is None else seed,
+            name=f"{self.name}-{scale}",
+        )
+
+    def _seed(self, scale: str) -> int:
+        return abs(hash((self.name, scale))) % (2 ** 31)
+
+
+#: Registry of the five Table II benchmarks.
+#: grids: scale -> (rows, cols, n_ports, n_pads)
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    "ckt1": BenchmarkSpec(
+        name="ckt1", paper_nodes=6_000, paper_ports=51,
+        matched_moments=6,
+        grids={
+            "smoke": (12, 12, 12, 4),
+            "laptop": (50, 50, 51, 8),
+            "paper": (78, 78, 51, 8),
+        },
+    ),
+    "ckt2": BenchmarkSpec(
+        name="ckt2", paper_nodes=20_000, paper_ports=108,
+        matched_moments=10,
+        grids={
+            "smoke": (14, 14, 20, 4),
+            "laptop": (70, 70, 108, 12),
+            "paper": (142, 142, 108, 12),
+        },
+    ),
+    "ckt3": BenchmarkSpec(
+        name="ckt3", paper_nodes=80_000, paper_ports=204,
+        matched_moments=10,
+        grids={
+            "smoke": (16, 16, 30, 4),
+            "laptop": (90, 90, 204, 16),
+            "paper": (283, 283, 204, 16),
+        },
+    ),
+    "ckt4": BenchmarkSpec(
+        name="ckt4", paper_nodes=123_000, paper_ports=315,
+        matched_moments=8,
+        grids={
+            "smoke": (18, 18, 40, 4),
+            "laptop": (110, 110, 315, 20),
+            "paper": (351, 351, 315, 20),
+        },
+    ),
+    "ckt5": BenchmarkSpec(
+        name="ckt5", paper_nodes=1_700_000, paper_ports=1429,
+        matched_moments=10,
+        grids={
+            "smoke": (20, 20, 60, 4),
+            "laptop": (130, 130, 700, 24),
+            "paper": (1304, 1304, 1429, 32),
+        },
+    ),
+}
+
+
+def benchmark_names() -> list[str]:
+    """Names of all registered benchmarks, in Table II order."""
+    return list(BENCHMARKS)
+
+
+def make_benchmark_netlist(name: str, scale: str = "laptop",
+                           seed: int | None = None) -> Netlist:
+    """Generate the synthetic netlist for benchmark ``name`` at ``scale``."""
+    if name not in BENCHMARKS:
+        raise CircuitError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}")
+    if scale not in SCALES:
+        raise CircuitError(f"unknown scale {scale!r}; available: {SCALES}")
+    spec = BENCHMARKS[name].grid_spec(scale, seed=seed)
+    return build_power_grid(spec)
+
+
+def make_benchmark(name: str, scale: str = "laptop",
+                   seed: int | None = None) -> DescriptorSystem:
+    """Generate benchmark ``name`` and stamp it into a descriptor system.
+
+    This is the single call the examples and the benchmark harness use to
+    obtain a ``(C, G, B, L)`` model equivalent to one of the paper's test
+    circuits.
+    """
+    netlist = make_benchmark_netlist(name, scale=scale, seed=seed)
+    system = assemble_mna(netlist)
+    system.name = f"{name}-{scale}"
+    return system

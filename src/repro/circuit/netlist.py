@@ -1,0 +1,237 @@
+"""Netlist container with node bookkeeping and consistency checks.
+
+A :class:`Netlist` is an ordered collection of circuit elements plus the
+designation of which nodes are *observed outputs* (rows of the MNA output
+matrix ``L``).  Input ports are implied by the current sources: each current
+source is one column of ``B``, which is exactly how the power-grid models of
+the paper are driven ("time-varying current sources from transistor-level
+circuit blocks").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from repro.circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.exceptions import CircuitError
+
+__all__ = ["Netlist"]
+
+
+class Netlist:
+    """Ordered collection of circuit elements forming one linear network.
+
+    Parameters
+    ----------
+    title:
+        Human-readable description, kept in the SPICE deck's first line.
+    elements:
+        Optional initial elements.
+    output_nodes:
+        Nodes whose voltages form the observed output ``y``.  When empty, the
+        positive nodes of all current sources are used (the common power-grid
+        convention: you observe the voltage droop at every load port).
+    """
+
+    def __init__(self, title: str = "untitled",
+                 elements: Iterable[Element] | None = None,
+                 output_nodes: Iterable[str] | None = None) -> None:
+        self.title = title
+        self._elements: list[Element] = []
+        self._names: set[str] = set()
+        self._output_nodes: list[str] = list(output_nodes or [])
+        for element in elements or []:
+            self.add(element)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, element: Element) -> Element:
+        """Add one element, enforcing unique names."""
+        if not isinstance(element, Element):
+            raise CircuitError(
+                f"expected an Element instance, got {type(element).__name__}"
+            )
+        if element.name in self._names:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    def add_resistor(self, name: str, node_pos: str, node_neg: str,
+                     resistance: float) -> Resistor:
+        """Convenience wrapper for :class:`Resistor`."""
+        return self.add(Resistor(name, node_pos, node_neg, resistance))
+
+    def add_capacitor(self, name: str, node_pos: str, node_neg: str,
+                      capacitance: float) -> Capacitor:
+        """Convenience wrapper for :class:`Capacitor`."""
+        return self.add(Capacitor(name, node_pos, node_neg, capacitance))
+
+    def add_inductor(self, name: str, node_pos: str, node_neg: str,
+                     inductance: float) -> Inductor:
+        """Convenience wrapper for :class:`Inductor`."""
+        return self.add(Inductor(name, node_pos, node_neg, inductance))
+
+    def add_current_source(self, name: str, node_pos: str, node_neg: str,
+                           magnitude: float = 1.0) -> CurrentSource:
+        """Convenience wrapper for :class:`CurrentSource` (one input port)."""
+        return self.add(CurrentSource(name, node_pos, node_neg, magnitude))
+
+    def add_voltage_source(self, name: str, node_pos: str, node_neg: str,
+                           voltage: float) -> VoltageSource:
+        """Convenience wrapper for :class:`VoltageSource`."""
+        return self.add(VoltageSource(name, node_pos, node_neg, voltage))
+
+    def set_output_nodes(self, nodes: Iterable[str]) -> None:
+        """Designate the observed output nodes (rows of ``L``)."""
+        nodes = list(nodes)
+        known = self.nodes()
+        for node in nodes:
+            if node != GROUND and node not in known:
+                raise CircuitError(f"output node {node!r} not in the netlist")
+        self._output_nodes = nodes
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        """All elements in insertion order."""
+        return tuple(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __getitem__(self, name: str) -> Element:
+        for element in self._elements:
+            if element.name == name:
+                return element
+        raise KeyError(name)
+
+    def elements_of_type(self, cls: type) -> list[Element]:
+        """All elements that are instances of ``cls``, in insertion order."""
+        return [e for e in self._elements if isinstance(e, cls)]
+
+    @property
+    def resistors(self) -> list[Resistor]:
+        return self.elements_of_type(Resistor)  # type: ignore[return-value]
+
+    @property
+    def capacitors(self) -> list[Capacitor]:
+        return self.elements_of_type(Capacitor)  # type: ignore[return-value]
+
+    @property
+    def inductors(self) -> list[Inductor]:
+        return self.elements_of_type(Inductor)  # type: ignore[return-value]
+
+    @property
+    def current_sources(self) -> list[CurrentSource]:
+        return self.elements_of_type(CurrentSource)  # type: ignore[return-value]
+
+    @property
+    def voltage_sources(self) -> list[VoltageSource]:
+        return self.elements_of_type(VoltageSource)  # type: ignore[return-value]
+
+    def nodes(self) -> list[str]:
+        """All non-ground node names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for element in self._elements:
+            for node in element.nodes:
+                if node != GROUND and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self.nodes())
+
+    @property
+    def n_ports(self) -> int:
+        """Number of input ports (current sources)."""
+        return len(self.current_sources)
+
+    @property
+    def output_nodes(self) -> list[str]:
+        """Observed output nodes (defaults to all current-source nodes)."""
+        if self._output_nodes:
+            return list(self._output_nodes)
+        defaults: dict[str, None] = {}
+        for source in self.current_sources:
+            node = (source.node_pos if source.node_pos != GROUND
+                    else source.node_neg)
+            if node != GROUND and node not in defaults:
+                defaults[node] = None
+        return list(defaults)
+
+    # ------------------------------------------------------------------ #
+    # Consistency checks
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural consistency of the netlist.
+
+        Raises
+        ------
+        CircuitError
+            If the netlist is empty, has no ground reference, contains
+            dangling nodes touched by exactly one element terminal, or has
+            no input port.
+        """
+        if not self._elements:
+            raise CircuitError("netlist is empty")
+        touches: Counter[str] = Counter()
+        has_ground = False
+        for element in self._elements:
+            for node in element.nodes:
+                if node == GROUND:
+                    has_ground = True
+                else:
+                    touches[node] += 1
+        if not has_ground:
+            raise CircuitError(
+                "netlist has no connection to the ground node '0'"
+            )
+        dangling = sorted(node for node, count in touches.items()
+                          if count < 2)
+        if dangling:
+            preview = ", ".join(dangling[:5])
+            raise CircuitError(
+                f"{len(dangling)} dangling node(s) touched by a single "
+                f"terminal: {preview}"
+            )
+        if not self.current_sources and not self.voltage_sources:
+            raise CircuitError("netlist has no input source")
+
+    def summary(self) -> dict[str, int]:
+        """Element and node counts, handy for benchmark reporting."""
+        return {
+            "nodes": self.n_nodes,
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "inductors": len(self.inductors),
+            "current_sources": len(self.current_sources),
+            "voltage_sources": len(self.voltage_sources),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.summary()
+        return (f"Netlist({self.title!r}, nodes={s['nodes']}, "
+                f"R={s['resistors']}, C={s['capacitors']}, "
+                f"L={s['inductors']}, I={s['current_sources']}, "
+                f"V={s['voltage_sources']})")

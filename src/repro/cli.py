@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A thin front end over the library for quick experiments without writing a
+script:
+
+``python -m repro benchmarks``
+    List the registered synthetic benchmarks and their sizes per scale.
+
+``python -m repro reduce --benchmark ckt1 --method bdsm --moments 6``
+    Generate a benchmark, reduce it with the chosen method and print the
+    Table-II style summary row (time, ROM size, non-zeros, accuracy).
+
+``python -m repro sweep --benchmark ckt1 --moments 6 --output 1 --port 2``
+    Print the Fig. 5 style frequency sweep (full model vs BDSM and PRIMA)
+    for one transfer-matrix entry.
+
+All commands accept ``--scale smoke|laptop|paper`` (default ``smoke`` so the
+CLI responds in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import (
+    FrequencyAnalysis,
+    bdsm_reduce,
+    eks_reduce,
+    make_benchmark,
+    max_relative_error,
+    prima_reduce,
+    svdmor_reduce,
+)
+from repro.circuit.benchmarks import BENCHMARKS, SCALES
+from repro.io import format_table
+
+__all__ = ["main", "build_parser"]
+
+_REDUCERS = {
+    "bdsm": lambda system, l: bdsm_reduce(system, l),
+    "prima": lambda system, l: prima_reduce(system, l),
+    "svdmor": lambda system, l: svdmor_reduce(system, l, alpha=0.6),
+    "eks": lambda system, l: eks_reduce(system, l),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BDSM power-grid model reduction (DATE 2011 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks",
+                   help="list the registered synthetic benchmarks")
+
+    reduce_cmd = sub.add_parser(
+        "reduce", help="reduce a benchmark and print a summary row")
+    reduce_cmd.add_argument("--benchmark", default="ckt1",
+                            choices=sorted(BENCHMARKS))
+    reduce_cmd.add_argument("--method", default="bdsm",
+                            choices=sorted(_REDUCERS))
+    reduce_cmd.add_argument("--moments", type=int, default=6)
+    reduce_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="frequency sweep of one transfer-matrix entry")
+    sweep_cmd.add_argument("--benchmark", default="ckt1",
+                           choices=sorted(BENCHMARKS))
+    sweep_cmd.add_argument("--moments", type=int, default=6)
+    sweep_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+    sweep_cmd.add_argument("--output", type=int, default=1,
+                           help="1-based output index (paper style)")
+    sweep_cmd.add_argument("--port", type=int, default=2,
+                           help="1-based input port index (paper style)")
+    sweep_cmd.add_argument("--points", type=int, default=9)
+    return parser
+
+
+def _cmd_benchmarks() -> int:
+    rows = []
+    for name, spec in BENCHMARKS.items():
+        row = {"benchmark": name,
+               "paper nodes": spec.paper_nodes,
+               "paper ports": spec.paper_ports,
+               "moments (Table II)": spec.matched_moments}
+        for scale in ("smoke", "laptop"):
+            rows_cols_ports = spec.grids[scale]
+            row[f"{scale} mesh"] = f"{rows_cols_ports[0]}x{rows_cols_ports[1]}"
+            row[f"{scale} ports"] = rows_cols_ports[2]
+        rows.append(row)
+    print(format_table(rows, title="registered synthetic benchmarks"))
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    system = make_benchmark(args.benchmark, scale=args.scale)
+    rom, stats, seconds = _REDUCERS[args.method](system, args.moments)
+    omegas = np.logspace(5, 9, 5)
+    row = {
+        "benchmark": system.name,
+        "nodes": system.size,
+        "ports": system.n_ports,
+        "method": args.method.upper(),
+        "MOR time (s)": round(seconds, 4),
+        "ROM size": rom.size,
+        "ROM nnz": rom.nnz,
+        "ortho inner products": stats.inner_products,
+        "max rel. error (1e5-1e9 rad/s)":
+            f"{max_relative_error(system, rom, omegas):.2e}",
+        "reusable": "yes" if rom.reusable else "no",
+    }
+    print(format_table([row], title="reduction summary"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.output < 1 or args.port < 1:
+        print("error: --output and --port are 1-based indices",
+              file=sys.stderr)
+        return 2
+    system = make_benchmark(args.benchmark, scale=args.scale)
+    if args.output > system.n_outputs or args.port > system.n_ports:
+        print(f"error: benchmark has {system.n_outputs} outputs and "
+              f"{system.n_ports} ports", file=sys.stderr)
+        return 2
+    output, port = args.output - 1, args.port - 1
+    bdsm_rom, _, _ = bdsm_reduce(system, args.moments)
+    prima_rom, _, _ = prima_reduce(system, args.moments)
+    analysis = FrequencyAnalysis(omega_min=1e5, omega_max=1e12,
+                                 n_points=args.points)
+    report = analysis.compare(system, {"BDSM": bdsm_rom, "PRIMA": prima_rom},
+                              output=output, port=port)
+    rows = []
+    for k, omega in enumerate(report["reference"]["omegas"]):
+        rows.append({
+            "omega (rad/s)": float(omega),
+            "|H| full": float(report["reference"]["magnitude"][k]),
+            "relerr BDSM": float(report["BDSM"]["relative_error"][k]),
+            "relerr PRIMA": float(report["PRIMA"]["relative_error"][k]),
+        })
+    print(format_table(
+        rows, title=f"H[{args.output},{args.port}] of {system.name} "
+                    f"(l={args.moments})"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "benchmarks":
+        return _cmd_benchmarks()
+    if args.command == "reduce":
+        return _cmd_reduce(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""BDSM: block-diagonal structured model order reduction (Algorithm 1).
+
+The reduction proceeds exactly as the paper's Algorithm 1:
+
+1.  factorise the shifted pencil ``(s0 C - G)`` once (sparse LU);
+2.  compute the candidate blocks ``M_j = A^{j-1} (s0 C - G)^{-1} B`` for
+    ``j = 1..l`` with shared solves;
+3.  *cluster* the candidate vectors by input column and orthonormalise each
+    group separately, producing the thin bases ``V(i) in R^{n x l}``;
+4.  congruence-project each split system:
+    ``C_ir = V(i)^T C V(i)``, ``G_ir = V(i)^T G V(i)``,
+    ``b_ir = V(i)^T b_i``, ``L_ir = L V(i)``;
+5.  assemble the block-diagonal ROM of Eq. (14).
+
+The implementation adds two practical features on top of the paper:
+
+* ports are processed in chunks (``port_chunk_size``) — because the groups
+  are orthonormalised independently anyway, chunking changes nothing
+  numerically, but it bounds the peak memory at ``n * chunk * l`` floats
+  instead of ``n * m * l``, which is what lets BDSM run on the largest
+  benchmarks where the dense methods break down;
+* chunks can be processed by a thread pool (``n_workers``) — the paper
+  points out that the block-diagonal structure "allows for parallel
+  calculations", and the per-chunk work (sparse solves + BLAS projections)
+  releases the GIL, so threads give a real speedup on multi-core machines
+  without changing the result.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
+from repro.exceptions import ReductionError
+from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
+from repro.linalg.orthogonalization import OrthoStats
+from repro.linalg.sparse_utils import to_csr
+from repro.mor.base import ResourceBudget
+
+__all__ = ["BDSMOptions", "bdsm_reduce"]
+
+
+@dataclass(frozen=True)
+class BDSMOptions:
+    """Tuning knobs of :func:`bdsm_reduce`.
+
+    Attributes
+    ----------
+    port_chunk_size:
+        Number of input ports whose Krylov bases are built simultaneously.
+        ``None`` processes all ports at once (fastest, most memory); small
+        values bound memory on very wide systems.
+    keep_projection:
+        Store each per-port basis ``V(i)`` on its block (needed for state
+        reconstruction; costs ``n*l`` floats per port).
+    deflation_tol:
+        Relative tolerance for dropping linearly dependent vectors inside a
+        group; deflated blocks simply end up smaller than ``l``.
+    n_workers:
+        Number of worker threads processing port chunks concurrently.
+        ``1`` (default) is sequential; values above 1 only make sense
+        together with ``port_chunk_size`` so there is more than one chunk.
+    """
+
+    port_chunk_size: int | None = None
+    keep_projection: bool = False
+    deflation_tol: float = 1e-12
+    n_workers: int = 1
+
+
+def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
+                options: BDSMOptions | None = None,
+                budget: ResourceBudget | None = None):
+    """Reduce ``system`` with BDSM, matching ``n_moments`` per input column.
+
+    Parameters
+    ----------
+    system:
+        Object exposing sparse ``C, G, B, L`` in the paper's convention
+        (``C dx/dt = G x + B u``).
+    n_moments:
+        Number of moments ``l`` matched for every column of the transfer
+        matrix (the ROM order is ``m * l`` barring deflation).
+    s0:
+        Expansion point (0 gives DC-centred moments; any point where
+        ``s0 C - G`` is non-singular works).
+    options:
+        Optional :class:`BDSMOptions`.
+    budget:
+        Optional :class:`~repro.mor.base.ResourceBudget`; BDSM's working set
+        is ``n x chunk x l`` so it stays far below the dense methods' needs,
+        but the guard is honoured for fairness in the Table II harness.
+
+    Returns
+    -------
+    tuple(BlockDiagonalROM, OrthoStats, float)
+        The structured ROM, the orthonormalisation operation counts
+        (``m * l * (l-1) / 2`` inner products up to re-orthogonalisation),
+        and the wall-clock build time in seconds.
+    """
+    if n_moments < 1:
+        raise ReductionError("n_moments must be >= 1")
+    opts = options or BDSMOptions()
+    budget = budget or ResourceBudget.unlimited()
+
+    C = to_csr(system.C)
+    G = to_csr(system.G)
+    B = to_csr(system.B)
+    L = to_csr(system.L)
+    n, m = B.shape
+    p = L.shape[0]
+    chunk = m if opts.port_chunk_size is None else int(opts.port_chunk_size)
+    if chunk < 1:
+        raise ReductionError("port_chunk_size must be >= 1")
+    if opts.n_workers < 1:
+        raise ReductionError("n_workers must be >= 1")
+    budget.check_dense(n, min(chunk, m) * n_moments * max(opts.n_workers, 1),
+                       what="BDSM chunked projection bases")
+
+    start = time.perf_counter()
+    operator = ShiftedOperator(C, G, s0=s0)
+    stats = OrthoStats()
+
+    def process_chunk(chunk_columns: list[int],
+                      ) -> tuple[list[ROMBlock], OrthoStats]:
+        bases, chunk_stats, _deflated = column_clustered_krylov_bases(
+            operator, B, n_moments,
+            deflation_tol=opts.deflation_tol,
+            columns=chunk_columns)
+        chunk_blocks: list[ROMBlock] = []
+        for local_idx, port in enumerate(chunk_columns):
+            V_i = bases[local_idx]
+            b_i = np.asarray(B[:, port].todense()).reshape(-1)
+            chunk_blocks.append(ROMBlock(
+                index=port,
+                C=V_i.T @ (C @ V_i),
+                G=V_i.T @ (G @ V_i),
+                b=V_i.T @ b_i,
+                L=np.asarray(L @ V_i),
+                basis=V_i if opts.keep_projection else None))
+        return chunk_blocks, chunk_stats
+
+    chunk_lists = [list(range(s, min(s + chunk, m)))
+                   for s in range(0, m, chunk)]
+    blocks: list[ROMBlock] = []
+    if opts.n_workers == 1 or len(chunk_lists) == 1:
+        results = [process_chunk(cols) for cols in chunk_lists]
+    else:
+        with ThreadPoolExecutor(max_workers=opts.n_workers) as pool:
+            results = list(pool.map(process_chunk, chunk_lists))
+    for chunk_blocks, chunk_stats in results:
+        blocks.extend(chunk_blocks)
+        stats.merge(chunk_stats)
+
+    rom = BlockDiagonalROM(
+        blocks, n_outputs=p, s0=s0, n_moments=n_moments,
+        original_size=n, original_ports=m,
+        name=f"{getattr(system, 'name', 'system')}-BDSM")
+    elapsed = time.perf_counter() - start
+    return rom, stats, elapsed

@@ -1,0 +1,148 @@
+"""Closed-form cost model of Sec. III-B of the paper.
+
+The paper's efficiency argument boils down to three formulas comparing BDSM
+with PRIMA for a system with ``m`` input ports when ``l`` moments are
+matched (assuming no deflation):
+
+==========================  =======================  ====================
+quantity                    PRIMA                     BDSM
+==========================  =======================  ====================
+orthonormalisation          ``m l (m l - 1) / 2``     ``m l (l - 1) / 2``
+(long inner products)
+ROM stored non-zeros        ``O(m^2 l^2)``            ``m l^2``
+ROM simulation flops        ``O(m^3 l^3)``            ``O(m l^3)``
+==========================  =======================  ====================
+
+These functions evaluate the formulas so the ablation benchmark
+(``benchmarks/bench_cost_model.py``) can sweep ``m`` and ``l`` and print the
+predicted speedup/storage tables, and the tests can cross-check the measured
+:class:`~repro.linalg.orthogonalization.OrthoStats` against the predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.linalg.orthogonalization import theoretical_inner_products
+
+__all__ = [
+    "orthonormalization_inner_products",
+    "rom_nonzeros",
+    "simulation_flops",
+    "CostComparison",
+    "sweep_cost_model",
+]
+
+_METHODS = ("BDSM", "PRIMA")
+
+
+def _check(m: int, l: int, method: str) -> str:
+    if m < 1 or l < 1:
+        raise ValidationError("m and l must be positive")
+    method = method.upper()
+    if method not in _METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; choose from {_METHODS}")
+    return method
+
+
+def orthonormalization_inner_products(m: int, l: int,
+                                      method: str = "BDSM") -> int:
+    """Long-vector inner products needed by the orthonormalisation step."""
+    method = _check(m, l, method)
+    return theoretical_inner_products(m, l, clustered=(method == "BDSM"))
+
+
+def rom_nonzeros(m: int, l: int, method: str = "BDSM") -> int:
+    """Stored non-zeros of the ROM's ``C_r``/``G_r`` (+ ``B_r``) matrices.
+
+    BDSM stores ``m`` dense ``l x l`` blocks per matrix plus ``m`` reduced
+    input vectors of length ``l``; PRIMA stores two dense ``(m l) x (m l)``
+    matrices plus a dense ``(m l) x m`` input matrix.
+    """
+    method = _check(m, l, method)
+    if method == "BDSM":
+        return 2 * m * l * l + m * l
+    q = m * l
+    return 2 * q * q + q * m
+
+
+def simulation_flops(m: int, l: int, method: str = "BDSM") -> int:
+    """Leading-order flop count of one ROM factorisation during simulation.
+
+    A transient / frequency step requires factorising the (shifted) reduced
+    pencil: ``m`` independent ``l x l`` factorisations for BDSM
+    (``O(m l^3)``), one dense ``(m l) x (m l)`` factorisation for PRIMA
+    (``O(m^3 l^3)``).  Constant factors are dropped, as in the paper.
+    """
+    method = _check(m, l, method)
+    if method == "BDSM":
+        return m * l ** 3
+    return (m * l) ** 3
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Predicted PRIMA-vs-BDSM costs for one ``(m, l)`` operating point."""
+
+    m: int
+    l: int
+    prima_inner_products: int
+    bdsm_inner_products: int
+    prima_nonzeros: int
+    bdsm_nonzeros: int
+    prima_sim_flops: int
+    bdsm_sim_flops: int
+
+    @property
+    def ortho_speedup(self) -> float:
+        """Predicted orthonormalisation speedup of BDSM over PRIMA."""
+        return self.prima_inner_products / max(self.bdsm_inner_products, 1)
+
+    @property
+    def storage_ratio(self) -> float:
+        """Predicted ROM storage ratio (PRIMA / BDSM)."""
+        return self.prima_nonzeros / max(self.bdsm_nonzeros, 1)
+
+    @property
+    def simulation_speedup(self) -> float:
+        """Predicted ROM simulation speedup (the paper's ``10^6x`` example
+        corresponds to ``m = 1000``)."""
+        return self.prima_sim_flops / max(self.bdsm_sim_flops, 1)
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a report row."""
+        return {
+            "m": self.m,
+            "l": self.l,
+            "PRIMA ortho": self.prima_inner_products,
+            "BDSM ortho": self.bdsm_inner_products,
+            "ortho speedup": round(self.ortho_speedup, 2),
+            "PRIMA nnz": self.prima_nonzeros,
+            "BDSM nnz": self.bdsm_nonzeros,
+            "storage ratio": round(self.storage_ratio, 2),
+            "sim speedup": round(self.simulation_speedup, 2),
+        }
+
+
+def compare_costs(m: int, l: int) -> CostComparison:
+    """Evaluate all three cost formulas for one ``(m, l)`` point."""
+    return CostComparison(
+        m=m, l=l,
+        prima_inner_products=orthonormalization_inner_products(m, l, "PRIMA"),
+        bdsm_inner_products=orthonormalization_inner_products(m, l, "BDSM"),
+        prima_nonzeros=rom_nonzeros(m, l, "PRIMA"),
+        bdsm_nonzeros=rom_nonzeros(m, l, "BDSM"),
+        prima_sim_flops=simulation_flops(m, l, "PRIMA"),
+        bdsm_sim_flops=simulation_flops(m, l, "BDSM"),
+    )
+
+
+def sweep_cost_model(port_counts, moment_counts) -> list[CostComparison]:
+    """Evaluate the cost model over a grid of ``m`` and ``l`` values."""
+    comparisons = []
+    for m in port_counts:
+        for l in moment_counts:
+            comparisons.append(compare_costs(int(m), int(l)))
+    return comparisons

@@ -1,0 +1,96 @@
+"""Input-matrix splitting (paper Sec. III-A).
+
+The BDSM derivation starts by writing the input matrix as a sum of rank-one
+matrices ``B = sum_i B_i`` where ``B_i`` keeps only the ``i``-th column of
+``B`` (Eq. 6).  Each split system ``Sigma_i = (C, G, B_i, L)`` then has a
+transfer matrix ``H_i(s)`` whose only non-zero column is the ``i``-th column
+of ``H(s)``, so ``H(s) = sum_i H_i(s)`` (Eq. 7) and the original network is
+equivalent to the parallel connection of the split systems, realised by the
+size-``m*n`` block-diagonal model of Eq. (8).
+
+These constructions are mostly used for validation and teaching: the actual
+:func:`~repro.core.bdsm.bdsm_reduce` never materialises the size-``m*n``
+model (that is the whole point), but the tests verify the identities the
+algorithm rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import DescriptorSystem
+from repro.exceptions import ReductionError
+from repro.linalg.sparse_utils import to_csr
+
+__all__ = ["split_input_matrix", "split_system", "parallel_composition"]
+
+
+def split_input_matrix(B, index: int) -> sp.csr_matrix:
+    """Return ``B_i``: same shape as ``B`` but only column ``index`` kept.
+
+    This is Eq. (6) of the paper: ``B_i(:, j) = b_i`` if ``i == j`` else 0.
+    """
+    B = to_csr(B)
+    m = B.shape[1]
+    if not 0 <= index < m:
+        raise ReductionError(f"column index {index} out of range for m={m}")
+    column = B[:, index]
+    return _place_column(column, index, m)
+
+
+def _place_column(column: sp.spmatrix, index: int, m: int) -> sp.csr_matrix:
+    """Build an ``n x m`` sparse matrix whose only non-zero column is ``column``."""
+    col = column.tocoo()
+    rows = col.row
+    data = col.data
+    cols = np.full_like(rows, index)
+    return sp.csr_matrix((data, (rows, cols)), shape=(column.shape[0], m))
+
+
+def split_system(system: DescriptorSystem, index: int) -> DescriptorSystem:
+    """Return the split system ``Sigma_i = (C, G, B_i, L)``.
+
+    The split system shares the (sparse) ``C``, ``G`` and ``L`` matrices with
+    the original — only the input matrix changes — so building one is cheap.
+    """
+    B_i = split_input_matrix(system.B, index)
+    return DescriptorSystem(
+        C=system.C, G=system.G, B=B_i, L=system.L,
+        state_names=list(system.state_names),
+        port_names=list(system.port_names),
+        output_names=list(system.output_names),
+        name=f"{system.name}-split{index}",
+    )
+
+
+def parallel_composition(system: DescriptorSystem,
+                         max_ports: int = 64) -> DescriptorSystem:
+    """Materialise the size-``m*n`` parallel model of Eq. (8).
+
+    The composed model stacks ``m`` copies of ``(C, G)`` block-diagonally,
+    stacks the split input matrices ``B_i`` vertically and repeats ``L``
+    horizontally.  Its transfer matrix equals that of the original system —
+    a property the tests check — but its size grows with ``m * n``, so the
+    construction refuses to run beyond ``max_ports`` ports to avoid
+    accidental memory blow-ups (BDSM itself never needs it).
+    """
+    m = system.n_ports
+    if m > max_ports:
+        raise ReductionError(
+            f"parallel_composition is a validation helper; refusing to "
+            f"materialise an m*n model with m={m} > max_ports={max_ports}")
+    C = to_csr(system.C)
+    G = to_csr(system.G)
+    L = to_csr(system.L)
+    big_C = sp.block_diag([C] * m, format="csr")
+    big_G = sp.block_diag([G] * m, format="csr")
+    big_B = sp.vstack([split_input_matrix(system.B, i) for i in range(m)],
+                      format="csr")
+    big_L = sp.hstack([L] * m, format="csr")
+    return DescriptorSystem(
+        C=big_C, G=big_G, B=big_B, L=big_L,
+        port_names=list(system.port_names),
+        output_names=list(system.output_names),
+        name=f"{system.name}-parallel",
+    )

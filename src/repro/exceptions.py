@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while still letting programming errors (``TypeError``,
+``KeyError`` from bugs, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised when a circuit description is malformed or inconsistent."""
+
+
+class NetlistParseError(CircuitError):
+    """Raised when a SPICE-subset netlist cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        if line is not None:
+            message = f"{message!s} [{line.strip()!r}]"
+        super().__init__(message)
+
+
+class StampingError(CircuitError):
+    """Raised when MNA stamping fails (e.g. dangling node, bad element)."""
+
+
+class ReductionError(ReproError):
+    """Raised when a model-order-reduction run cannot be completed."""
+
+
+class DeflationError(ReductionError):
+    """Raised when a Krylov basis deflates to nothing (rank loss)."""
+
+
+class SingularSystemError(ReproError):
+    """Raised when ``(s0*C - G)`` is singular at the chosen expansion point."""
+
+
+class SimulationError(ReproError):
+    """Raised when a frequency- or time-domain simulation fails."""
+
+
+class PassivityError(ReproError):
+    """Raised by passivity verification / enforcement routines."""
+
+
+class ValidationError(ReproError):
+    """Raised by validation helpers when inputs are inconsistent."""
+
+
+class ResourceBudgetExceeded(ReductionError):
+    """Raised when a reducer would exceed its configured memory/size budget.
+
+    This mirrors the "break down" entries of Table II in the paper: dense
+    projection bases and dense ROMs of PRIMA / SVDMOR exhaust memory on the
+    largest many-port benchmarks.  The budget guard lets the benchmark harness
+    report the same failure mode deterministically on laptop-scale inputs.
+    """
+
+    def __init__(self, message: str, required_bytes: int | None = None,
+                 budget_bytes: int | None = None) -> None:
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(message)

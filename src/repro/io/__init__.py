@@ -1,0 +1,26 @@
+"""Input/output helpers: matrix export, SPICE decks, result tables.
+
+Contents
+--------
+``matrices``
+    Save/load descriptor systems as compressed ``.npz`` archives and export
+    individual matrices in Matrix Market format.
+``tables``
+    Plain-text table rendering for the benchmark harness (the Table I /
+    Table II style output written to the console and to EXPERIMENTS.md).
+"""
+
+from repro.io.matrices import (
+    load_descriptor_npz,
+    save_descriptor_npz,
+    save_matrix_market,
+)
+from repro.io.tables import format_table, write_table
+
+__all__ = [
+    "format_table",
+    "load_descriptor_npz",
+    "save_descriptor_npz",
+    "save_matrix_market",
+    "write_table",
+]

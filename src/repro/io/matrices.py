@@ -1,0 +1,86 @@
+"""Persistence of descriptor systems and sparse matrices.
+
+Industrial flows exchange extracted power-grid models as matrix files; these
+helpers provide the equivalent round-trip for this library's
+:class:`~repro.circuit.mna.DescriptorSystem` (compressed ``.npz`` with all
+four matrices and the metadata) plus Matrix Market export of individual
+matrices for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from repro.circuit.mna import DescriptorSystem
+from repro.exceptions import ValidationError
+from repro.linalg.sparse_utils import to_csr
+
+__all__ = ["save_descriptor_npz", "load_descriptor_npz", "save_matrix_market"]
+
+
+def save_descriptor_npz(system: DescriptorSystem, path: str | Path) -> Path:
+    """Save a descriptor system to a compressed ``.npz`` archive.
+
+    The four matrices are stored in CSR component form (data/indices/indptr)
+    so arbitrarily large sparse systems round-trip without densification.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for name in ("C", "G", "B", "L"):
+        matrix = to_csr(getattr(system, name))
+        arrays[f"{name}_data"] = matrix.data
+        arrays[f"{name}_indices"] = matrix.indices
+        arrays[f"{name}_indptr"] = matrix.indptr
+        arrays[f"{name}_shape"] = np.asarray(matrix.shape)
+    arrays["state_names"] = np.asarray(system.state_names, dtype=object)
+    arrays["port_names"] = np.asarray(system.port_names, dtype=object)
+    arrays["output_names"] = np.asarray(system.output_names, dtype=object)
+    arrays["name"] = np.asarray([system.name], dtype=object)
+    if system.const_input is not None:
+        arrays["const_input"] = system.const_input
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_descriptor_npz(path: str | Path) -> DescriptorSystem:
+    """Load a descriptor system previously saved by :func:`save_descriptor_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    with np.load(path, allow_pickle=True) as data:
+        matrices = {}
+        for name in ("C", "G", "B", "L"):
+            key = f"{name}_data"
+            if key not in data:
+                raise ValidationError(
+                    f"{path} does not look like a descriptor archive "
+                    f"(missing {key})")
+            shape = tuple(int(v) for v in data[f"{name}_shape"])
+            matrices[name] = sp.csr_matrix(
+                (data[f"{name}_data"], data[f"{name}_indices"],
+                 data[f"{name}_indptr"]), shape=shape)
+        const = data["const_input"] if "const_input" in data else None
+        return DescriptorSystem(
+            C=matrices["C"], G=matrices["G"], B=matrices["B"],
+            L=matrices["L"],
+            state_names=[str(s) for s in data["state_names"]],
+            port_names=[str(s) for s in data["port_names"]],
+            output_names=[str(s) for s in data["output_names"]],
+            const_input=None if const is None else np.asarray(const),
+            name=str(data["name"][0]),
+        )
+
+
+def save_matrix_market(matrix, path: str | Path,
+                       comment: str = "") -> Path:
+    """Export one (sparse or dense) matrix in Matrix Market ``.mtx`` format."""
+    path = Path(path)
+    scipy.io.mmwrite(str(path), to_csr(matrix), comment=comment)
+    # scipy appends ".mtx" when the suffix is missing; report the real path.
+    if path.suffix != ".mtx" and not path.exists():
+        path = path.with_suffix(path.suffix + ".mtx")
+    return path

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints Table I / Table II style comparisons to the
+console and appends them to files referenced by EXPERIMENTS.md.  The
+formatter is deliberately dependency-free: a fixed-width text table from a
+list of dict rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+__all__ = ["format_table", "write_table"]
+
+
+def _render_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: list[dict], *, columns: list[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render ``rows`` (list of dicts) as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        One dict per table row; missing keys render as ``-``.
+    columns:
+        Column order (defaults to the union of keys in first-seen order).
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        raise ValidationError("cannot format an empty table")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    rendered = [[_render_cell(row.get(col)) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(columns)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(r) for r in rendered)
+    return "\n".join(parts)
+
+
+def write_table(rows: list[dict], path: str | Path, *,
+                columns: list[str] | None = None,
+                title: str | None = None, append: bool = False) -> str:
+    """Render a table and write it to ``path`` (returns the rendered text)."""
+    text = format_table(rows, columns=columns, title=title)
+    path = Path(path)
+    mode = "a" if append else "w"
+    with path.open(mode) as handle:
+        handle.write(text + "\n\n")
+    return text

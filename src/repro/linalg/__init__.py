@@ -1,0 +1,71 @@
+"""Low-level linear-algebra substrate used by every other subpackage.
+
+The routines here are deliberately free of any circuit or MOR semantics:
+they operate on plain numpy arrays and scipy sparse matrices.
+
+Contents
+--------
+``orthogonalization``
+    Modified Gram-Schmidt with re-orthogonalisation and deflation detection,
+    plus an operation counter used by the cost model.
+``krylov``
+    (Block) Krylov subspace construction around a shifted descriptor pencil,
+    shared by PRIMA, EKS and BDSM.
+``blockdiag``
+    Assembly and bookkeeping of block-diagonal sparse matrices.
+``sparse_utils``
+    Sparsity statistics, symmetry checks, and safe sparse factorisations.
+``moments``
+    Transfer-matrix moment computation for moment-matching verification.
+"""
+
+from repro.linalg.blockdiag import (
+    BlockLayout,
+    block_diag_sparse,
+    block_view,
+    blocks_from_matrix,
+)
+from repro.linalg.krylov import (
+    KrylovResult,
+    ShiftedOperator,
+    block_krylov_basis,
+    column_clustered_krylov_bases,
+)
+from repro.linalg.moments import system_moments, transfer_moments
+from repro.linalg.orthogonalization import (
+    OrthoStats,
+    modified_gram_schmidt,
+    orthonormalize_against,
+)
+from repro.linalg.sparse_utils import (
+    SparsityInfo,
+    is_symmetric,
+    nnz_density,
+    sparsity_info,
+    splu_factor,
+    to_csc,
+    to_csr,
+)
+
+__all__ = [
+    "BlockLayout",
+    "KrylovResult",
+    "OrthoStats",
+    "ShiftedOperator",
+    "SparsityInfo",
+    "block_diag_sparse",
+    "block_krylov_basis",
+    "block_view",
+    "blocks_from_matrix",
+    "column_clustered_krylov_bases",
+    "is_symmetric",
+    "modified_gram_schmidt",
+    "nnz_density",
+    "orthonormalize_against",
+    "sparsity_info",
+    "splu_factor",
+    "system_moments",
+    "to_csc",
+    "to_csr",
+    "transfer_moments",
+]

@@ -1,0 +1,83 @@
+"""Transfer-matrix moment computation.
+
+The accuracy claim of both PRIMA and BDSM is phrased in terms of *moments*:
+the Taylor coefficients of the transfer matrix around the expansion point,
+
+    H(s) = L (s C - G)^{-1} B
+         = sum_k  M_k (s - s0)^k,
+    M_k = L * (-A)^k * R,   A = (s0 C - G)^{-1} C,   R = (s0 C - G)^{-1} B.
+
+(The sign convention follows from expanding ``(sC - G)^{-1}`` around ``s0``:
+``( (s0 C - G)(I + (s - s0) A) )^{-1} = (I + (s-s0) A)^{-1} (s0 C - G)^{-1}``.)
+
+These routines are used by the validation package and the tests to verify
+that a ROM really matches the first ``l`` moments of the full model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.krylov import ShiftedOperator
+
+__all__ = ["transfer_moments", "system_moments"]
+
+
+def system_moments(C, G, B, L, n_moments: int, s0: complex = 0.0,
+                   ) -> list[np.ndarray]:
+    """Compute the first ``n_moments`` moment matrices of ``L (sC - G)^{-1} B``.
+
+    Parameters
+    ----------
+    C, G:
+        ``n x n`` descriptor matrices.
+    B:
+        ``n x m`` input matrix.
+    L:
+        ``p x n`` output matrix.
+    n_moments:
+        Number of moments to return (``M_0 .. M_{n_moments-1}``).
+    s0:
+        Expansion point.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Moment matrices, each of shape ``p x m``.
+
+    Notes
+    -----
+    The cost is one sparse LU plus ``n_moments`` solves with ``m``
+    right-hand sides, so this is only meant for validation on small-to-medium
+    systems, not as a production path.
+    """
+    if n_moments < 1:
+        raise ValueError("n_moments must be >= 1")
+    op = ShiftedOperator(C, G, s0)
+    L_dense = L.toarray() if sp.issparse(L) else np.asarray(L, dtype=float)
+    if L_dense.ndim == 1:
+        L_dense = L_dense.reshape(1, -1)
+
+    moments: list[np.ndarray] = []
+    # R_0 = (s0 C - G)^{-1} B ;  R_{k+1} = -A R_k
+    current = np.asarray(op.starting_block(B))
+    if current.ndim == 1:
+        current = current.reshape(-1, 1)
+    for _ in range(n_moments):
+        moments.append(L_dense @ current)
+        current = -np.asarray(op.apply(current))
+        if current.ndim == 1:
+            current = current.reshape(-1, 1)
+    return moments
+
+
+def transfer_moments(system, n_moments: int, s0: complex = 0.0,
+                     ) -> list[np.ndarray]:
+    """Moments of any object exposing ``C, G, B, L`` descriptor matrices.
+
+    Works uniformly for the full :class:`~repro.circuit.mna.DescriptorSystem`
+    and for reduced models, so validation code can compare them directly.
+    """
+    return system_moments(system.C, system.G, system.B, system.L,
+                          n_moments, s0)

@@ -1,0 +1,45 @@
+"""Model-order-reduction baselines the paper compares BDSM against.
+
+Contents
+--------
+``base``
+    Common :class:`ReducedSystem` container, the :class:`ResourceBudget`
+    guard reproducing the "break down" entries of Table II, and the
+    :class:`ReductionSummary` record used by the benchmark harness.
+``prima``
+    PRIMA: block-Arnoldi congruence projection (Odabasioglu et al.).
+``svdmor``
+    SVDMOR: SVD-based terminal reduction followed by PRIMA on the thin
+    system (Feldmann).
+``eks``
+    EKS: extended-Krylov-subspace style input-dependent reduction
+    (Wang & Nguyen) — fast but not reusable under new excitations.
+``rational``
+    Multi-point (rational Krylov) projection, the straightforward extension
+    mentioned in the paper for wide-band inputs.
+``btrunc``
+    Poor Man's TBR sampling-based balanced truncation (Phillips & Silveira),
+    the paper's reference [7], usable on small systems as an accuracy anchor.
+"""
+
+from repro.mor.base import (
+    ReducedSystem,
+    ReductionSummary,
+    ResourceBudget,
+)
+from repro.mor.btrunc import pmtbr_reduce
+from repro.mor.eks import eks_reduce
+from repro.mor.prima import prima_reduce
+from repro.mor.rational import multipoint_prima_reduce
+from repro.mor.svdmor import svdmor_reduce
+
+__all__ = [
+    "ReducedSystem",
+    "ReductionSummary",
+    "ResourceBudget",
+    "eks_reduce",
+    "multipoint_prima_reduce",
+    "pmtbr_reduce",
+    "prima_reduce",
+    "svdmor_reduce",
+]

@@ -1,0 +1,40 @@
+"""Passivity verification and enforcement for reduced models (paper Sec. III-D).
+
+BDSM's congruence transform does not guarantee passivity of the reduced
+immittance model, so the paper sketches a post-processing pipeline that the
+block-diagonal structure makes cheap:
+
+1.  convert each size-``l`` descriptor block to a standard state-space model
+    (``O(l^3)`` per block) — :mod:`repro.passivity.state_space`;
+2.  diagonalise its ``A`` matrix by eigendecomposition — also ``O(l^3)``;
+3.  test passivity, either with the generalized-Hamiltonian eigenvalue test
+    (references [18]/[19]) — :mod:`repro.passivity.hamiltonian` — or with a
+    cheap Laguerre-grid scan on the diagonalised blocks
+    (reference [17]) — :mod:`repro.passivity.laguerre`;
+4.  if violations are found, perturb the offending spectra —
+    :mod:`repro.passivity.enforcement`.
+"""
+
+from repro.passivity.enforcement import enforce_passivity
+from repro.passivity.hamiltonian import (
+    PassivityReport,
+    hamiltonian_passivity_test,
+)
+from repro.passivity.laguerre import laguerre_passivity_scan
+from repro.passivity.state_space import (
+    StateSpaceModel,
+    descriptor_to_state_space,
+    diagonalize_state_space,
+    rom_block_to_state_space,
+)
+
+__all__ = [
+    "PassivityReport",
+    "StateSpaceModel",
+    "descriptor_to_state_space",
+    "diagonalize_state_space",
+    "enforce_passivity",
+    "hamiltonian_passivity_test",
+    "laguerre_passivity_scan",
+    "rom_block_to_state_space",
+]

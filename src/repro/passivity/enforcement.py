@@ -1,0 +1,86 @@
+"""First-order passivity enforcement by feedthrough perturbation.
+
+When a reduced immittance model shows (weak) non-passivity — the paper notes
+this "seldom occurs" for BDSM ROMs but must be handled before system-level
+simulation — the cheapest repair consistent with the paper's "fast passivity
+enforcement" pointer is a feedthrough (D-term) perturbation: the Hermitian
+part of ``H(j omega) + Delta`` is that of ``H`` shifted by the Hermitian
+part of ``Delta``, so adding ``delta * I`` with
+``delta >= -min_omega lambda_min(Herm(H(j omega)))`` lifts every sampled
+violation at zero dynamic cost (the perturbation is frequency-independent
+and does not move any pole).
+
+The perturbation magnitude equals the worst violation, so for the weak
+violations the paper talks about the accuracy impact is of the same
+(small) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PassivityError
+from repro.passivity.hamiltonian import PassivityReport
+from repro.passivity.state_space import StateSpaceModel
+
+__all__ = ["EnforcementResult", "enforce_passivity"]
+
+
+@dataclass
+class EnforcementResult:
+    """Result of a passivity-enforcement pass.
+
+    Attributes
+    ----------
+    model:
+        The (possibly perturbed) state-space model.
+    perturbation:
+        The scalar feedthrough shift that was applied (0 when the input was
+        already passive).
+    was_passive:
+        Whether the input model was already passive.
+    """
+
+    model: StateSpaceModel
+    perturbation: float
+    was_passive: bool
+
+
+def enforce_passivity(model: StateSpaceModel, report: PassivityReport, *,
+                      margin: float = 1e-12) -> EnforcementResult:
+    """Enforce passivity of ``model`` given a verification ``report``.
+
+    Parameters
+    ----------
+    model:
+        Square immittance state-space model.
+    report:
+        Output of :func:`~repro.passivity.hamiltonian.hamiltonian_passivity_test`
+        or :func:`~repro.passivity.laguerre.laguerre_passivity_scan` run on
+        the same model.
+    margin:
+        Extra positive shift added on top of the measured worst violation so
+        the repaired model is strictly passive on the sampled grid.
+
+    Returns
+    -------
+    EnforcementResult
+    """
+    if model.n_inputs != model.n_outputs:
+        raise PassivityError(
+            "passivity enforcement needs a square transfer matrix")
+    if report.is_passive:
+        return EnforcementResult(model=model, perturbation=0.0,
+                                 was_passive=True)
+    delta = float(-report.worst_eigenvalue) + margin
+    if delta <= 0.0:
+        raise PassivityError(
+            "report claims non-passivity but records a non-negative worst "
+            "eigenvalue; refusing to perturb")
+    D_new = np.asarray(model.D, dtype=complex) \
+        + delta * np.eye(model.n_outputs)
+    repaired = StateSpaceModel(A=model.A, B=model.B, C=model.C, D=D_new)
+    return EnforcementResult(model=repaired, perturbation=delta,
+                             was_passive=False)

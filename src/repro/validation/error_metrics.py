@@ -1,0 +1,68 @@
+"""Frequency-domain error metrics between a full model and its ROMs.
+
+The paper's Fig. 5(b) plots the relative error
+``|H_r(j w) - H(j w)| / |H(j w)|`` of one transfer-matrix entry over
+frequency; these helpers compute that curve and scalar summaries of it for
+any pair of systems exposing ``transfer_function`` / ``transfer_entry``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["relative_error_curve", "max_relative_error",
+           "transfer_matrix_error"]
+
+
+def relative_error_curve(full, rom, omegas, *, output: int = 0,
+                         port: int = 0, floor: float = 1e-300) -> np.ndarray:
+    """Relative error of one transfer-matrix entry over a frequency grid.
+
+    Parameters
+    ----------
+    full, rom:
+        Systems exposing ``transfer_entry(s, output, port)`` (all models in
+        this library do).
+    omegas:
+        Angular frequencies (rad/s).
+    output, port:
+        Transfer-matrix entry to compare (the paper uses port (1, 2), i.e.
+        output 0 / port 1 with zero-based indexing).
+    floor:
+        Denominator floor avoiding division by an exactly-zero reference.
+    """
+    omegas = np.asarray(omegas, dtype=float)
+    if omegas.ndim != 1 or omegas.size == 0:
+        raise ValidationError("omegas must be a non-empty 1-D array")
+    errors = np.empty(omegas.shape[0])
+    for k, omega in enumerate(omegas):
+        s = 1j * float(omega)
+        h_full = complex(full.transfer_entry(s, output, port))
+        h_rom = complex(rom.transfer_entry(s, output, port))
+        errors[k] = abs(h_rom - h_full) / max(abs(h_full), floor)
+    return errors
+
+
+def max_relative_error(full, rom, omegas, *, output: int = 0,
+                       port: int = 0) -> float:
+    """Maximum of :func:`relative_error_curve` over the grid."""
+    return float(np.max(relative_error_curve(full, rom, omegas,
+                                             output=output, port=port)))
+
+
+def transfer_matrix_error(full, rom, s: complex, *,
+                          relative: bool = True,
+                          floor: float = 1e-300) -> float:
+    """Frobenius-norm error of the whole ``p x m`` transfer matrix at ``s``."""
+    H_full = np.asarray(full.transfer_function(s))
+    H_rom = np.asarray(rom.transfer_function(s))
+    if H_full.shape != H_rom.shape:
+        raise ValidationError(
+            f"transfer matrices have different shapes {H_full.shape} vs "
+            f"{H_rom.shape}")
+    err = float(np.linalg.norm(H_rom - H_full))
+    if not relative:
+        return err
+    return err / max(float(np.linalg.norm(H_full)), floor)

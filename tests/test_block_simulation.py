@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.simulation (block-wise ROM transient)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SourceBank, TransientAnalysis
+from repro.analysis.sources import PulseSource, StepSource
+from repro.core import bdsm_reduce
+from repro.core.simulation import simulate_blockwise
+from repro.exceptions import SimulationError
+
+
+@pytest.fixture()
+def rom(rc_grid_system):
+    rom, _, _ = bdsm_reduce(rc_grid_system, 3)
+    return rom
+
+
+class TestSimulateBlockwise:
+    @pytest.mark.parametrize("method", ["backward_euler", "trapezoidal"])
+    def test_matches_generic_integrator(self, rom, method):
+        bank = SourceBank.uniform(rom.n_ports,
+                                  StepSource(1e-3, t0=2e-10, rise_time=1e-10))
+        generic = TransientAnalysis(t_stop=2e-9, dt=5e-11,
+                                    method=method).run(rom, bank)
+        blockwise = simulate_blockwise(rom, bank, t_stop=2e-9, dt=5e-11,
+                                       method=method)
+        assert np.allclose(blockwise.outputs, generic.outputs,
+                           rtol=1e-9, atol=1e-15)
+        assert np.allclose(blockwise.times, generic.times)
+
+    def test_matches_full_model(self, rc_grid_system, rom):
+        bank = SourceBank.uniform(
+            rom.n_ports,
+            PulseSource(2e-3, period=1e-9, width=3e-10, rise=1e-10,
+                        fall=1e-10))
+        full = TransientAnalysis(t_stop=2e-9, dt=5e-11).run(
+            rc_grid_system, bank)
+        reduced = simulate_blockwise(rom, bank, t_stop=2e-9, dt=5e-11)
+        scale = max(float(np.max(np.abs(full.outputs))), 1e-15)
+        assert reduced.max_abs_error_to(full) < 1e-3 * scale
+
+    def test_zero_input_stays_zero(self, rom):
+        result = simulate_blockwise(rom, SourceBank(rom.n_ports),
+                                    t_stop=1e-9, dt=1e-10)
+        assert np.allclose(result.outputs, 0.0)
+
+    def test_rejects_non_structured_rom(self, rc_grid_system):
+        from repro.mor import prima_reduce
+        dense_rom, _, _ = prima_reduce(rc_grid_system, 2)
+        bank = SourceBank(rc_grid_system.n_ports)
+        with pytest.raises(SimulationError):
+            simulate_blockwise(dense_rom, bank, t_stop=1e-9, dt=1e-10)
+
+    def test_rejects_bad_time_grid(self, rom):
+        bank = SourceBank(rom.n_ports)
+        with pytest.raises(SimulationError):
+            simulate_blockwise(rom, bank, t_stop=0.0, dt=1e-10)
+        with pytest.raises(SimulationError):
+            simulate_blockwise(rom, bank, t_stop=1e-9, dt=2e-9)
+
+    def test_rejects_bad_method(self, rom):
+        bank = SourceBank(rom.n_ports)
+        with pytest.raises(SimulationError):
+            simulate_blockwise(rom, bank, t_stop=1e-9, dt=1e-10,
+                               method="forward_euler")
+
+    def test_rejects_port_mismatch(self, rom):
+        with pytest.raises(SimulationError):
+            simulate_blockwise(rom, SourceBank(rom.n_ports + 1),
+                               t_stop=1e-9, dt=1e-10)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.mor.btrunc (Poor Man's TBR)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.mor import pmtbr_reduce
+from repro.validation import max_relative_error
+
+
+class TestPmtbrReduce:
+    def test_reduces_to_requested_order(self, rc_grid_system):
+        rom, _, _ = pmtbr_reduce(rc_grid_system, order=12, n_samples=8)
+        assert rom.size <= 12
+        assert rom.method == "PMTBR"
+
+    def test_accuracy_inside_sampled_band(self, rc_grid_system):
+        rom, _, _ = pmtbr_reduce(rc_grid_system, order=20,
+                                 omega_min=1e5, omega_max=1e10, n_samples=10)
+        omegas = np.logspace(6, 9, 5)
+        assert max_relative_error(rc_grid_system, rom, omegas) < 1e-3
+
+    def test_singular_values_monotone(self, rc_grid_system):
+        rom, _, _ = pmtbr_reduce(rc_grid_system, order=10, n_samples=6)
+        sigma = rom.singular_values
+        assert np.all(np.diff(sigma) <= 1e-12)
+
+    def test_order_larger_than_samples_is_capped(self, rc_grid_system):
+        rom, _, _ = pmtbr_reduce(rc_grid_system, order=10 ** 4, n_samples=4)
+        # at most 2 * m * n_samples columns can be produced
+        assert rom.size <= 2 * rc_grid_system.n_ports * 4
+
+    def test_more_order_not_less_accurate(self, rc_grid_system):
+        omegas = np.logspace(6, 9, 4)
+        small, _, _ = pmtbr_reduce(rc_grid_system, order=6, n_samples=8)
+        large, _, _ = pmtbr_reduce(rc_grid_system, order=24, n_samples=8)
+        err_small = max_relative_error(rc_grid_system, small, omegas)
+        err_large = max_relative_error(rc_grid_system, large, omegas)
+        assert err_large <= err_small * 1.001
+
+    @pytest.mark.parametrize("kwargs", [
+        {"order": 0},
+        {"order": 4, "n_samples": 0},
+        {"order": 4, "omega_min": 0.0},
+        {"order": 4, "omega_min": 1e9, "omega_max": 1e5},
+    ])
+    def test_invalid_arguments(self, rc_grid_system, kwargs):
+        with pytest.raises(ReductionError):
+            pmtbr_reduce(rc_grid_system, **kwargs)

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reduce_defaults(self):
+        args = build_parser().parse_args(["reduce"])
+        assert args.benchmark == "ckt1"
+        assert args.method == "bdsm"
+        assert args.moments == 6
+        assert args.scale == "smoke"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reduce", "--method", "magic"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reduce", "--benchmark", "ckt9"])
+
+
+class TestBenchmarksCommand:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ckt1", "ckt2", "ckt3", "ckt4", "ckt5"):
+            assert name in out
+        assert "paper ports" in out
+
+
+class TestReduceCommand:
+    @pytest.mark.parametrize("method", ["bdsm", "prima", "eks"])
+    def test_reduce_prints_summary(self, capsys, method):
+        code = main(["reduce", "--benchmark", "ckt1", "--method", method,
+                     "--moments", "3", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction summary" in out
+        assert method.upper() in out
+        assert "ROM size" in out
+
+    def test_reduce_reports_reusability(self, capsys):
+        main(["reduce", "--method", "eks", "--moments", "3"])
+        out = capsys.readouterr().out
+        assert "| no" in out or "no " in out
+
+
+class TestSweepCommand:
+    def test_sweep_prints_series(self, capsys):
+        code = main(["sweep", "--benchmark", "ckt1", "--moments", "3",
+                     "--points", "5", "--output", "1", "--port", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relerr BDSM" in out
+        assert "relerr PRIMA" in out
+        assert out.count("\n") >= 6
+
+    def test_sweep_rejects_zero_based_indices(self, capsys):
+        assert main(["sweep", "--output", "0", "--port", "1"]) == 2
+
+    def test_sweep_rejects_out_of_range_port(self, capsys):
+        assert main(["sweep", "--port", "9999"]) == 2

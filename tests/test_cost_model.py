@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.cost_model (Sec. III-B cost formulas)."""
+
+import pytest
+
+from repro.core.cost_model import (
+    compare_costs,
+    orthonormalization_inner_products,
+    rom_nonzeros,
+    simulation_flops,
+    sweep_cost_model,
+)
+from repro.exceptions import ValidationError
+
+
+class TestFormulas:
+    def test_orthonormalization_counts(self):
+        m, l = 51, 6
+        assert orthonormalization_inner_products(m, l, "BDSM") \
+            == m * l * (l - 1) // 2
+        assert orthonormalization_inner_products(m, l, "PRIMA") \
+            == m * l * (m * l - 1) // 2
+
+    def test_rom_nonzeros(self):
+        m, l = 10, 4
+        assert rom_nonzeros(m, l, "BDSM") == 2 * m * l * l + m * l
+        assert rom_nonzeros(m, l, "PRIMA") == 2 * (m * l) ** 2 + m * l * m
+
+    def test_simulation_flops(self):
+        m, l = 7, 3
+        assert simulation_flops(m, l, "BDSM") == m * l ** 3
+        assert simulation_flops(m, l, "PRIMA") == (m * l) ** 3
+
+    def test_paper_million_x_example(self):
+        # "if m = 1000, the BDSM ROM is expected to enjoy a 1e6x speedup"
+        comparison = compare_costs(1000, 6)
+        assert comparison.simulation_speedup == pytest.approx(1e6)
+
+    def test_single_port_degenerates_to_parity(self):
+        comparison = compare_costs(1, 5)
+        assert comparison.simulation_speedup == pytest.approx(1.0)
+        assert comparison.ortho_speedup >= 1.0
+
+    def test_invalid_method(self):
+        with pytest.raises(ValidationError):
+            rom_nonzeros(4, 2, "EKS")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            simulation_flops(0, 2)
+
+
+class TestComparisonAndSweep:
+    def test_speedups_grow_with_ports(self):
+        small = compare_costs(10, 6)
+        large = compare_costs(100, 6)
+        assert large.ortho_speedup > small.ortho_speedup
+        assert large.storage_ratio > small.storage_ratio
+        assert large.simulation_speedup > small.simulation_speedup
+
+    def test_as_row_keys(self):
+        row = compare_costs(10, 6).as_row()
+        assert {"m", "l", "ortho speedup", "storage ratio",
+                "sim speedup"} <= set(row)
+
+    def test_sweep_shape(self):
+        results = sweep_cost_model([10, 100], [4, 8, 12])
+        assert len(results) == 6
+        assert {(r.m, r.l) for r in results} == {
+            (10, 4), (10, 8), (10, 12), (100, 4), (100, 8), (100, 12)}

@@ -1,0 +1,90 @@
+"""Unit tests for repro.mor.eks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.mor import eks_reduce, prima_reduce
+from repro.validation import max_relative_error
+
+
+class TestEksReduce:
+    def test_rom_is_tiny(self, rc_grid_system):
+        l = 6
+        rom, _, _ = eks_reduce(rc_grid_system, l)
+        assert rom.size <= l
+        assert rom.method == "EKS"
+
+    def test_rom_not_reusable(self, rc_grid_system):
+        rom, _, _ = eks_reduce(rc_grid_system, 4)
+        assert rom.reusable is False
+
+    def test_accurate_for_assumed_excitation(self, rc_grid_system):
+        # The response to the assumed excitation (all ports driven equally)
+        # is y(s) = H(s) w; EKS matches its moments, so the aggregated
+        # response of the ROM tracks the full model at low frequency.
+        weights = np.ones(rc_grid_system.n_ports)
+        rom, _, _ = eks_reduce(rc_grid_system, 6, port_weights=weights)
+        for omega in (1e5, 1e7):
+            s = 1j * omega
+            y_full = rc_grid_system.transfer_function(s) @ weights
+            y_rom = rom.transfer_function(s) @ weights
+            err = np.linalg.norm(y_rom - y_full) / np.linalg.norm(y_full)
+            assert err < 1e-6
+
+    def test_inaccurate_for_individual_entries(self, rc_grid_system):
+        # Fig. 5: the EKS ROM does not reproduce individual transfer-matrix
+        # entries, unlike PRIMA/BDSM.
+        omegas = np.logspace(5, 9, 5)
+        eks_rom, _, _ = eks_reduce(rc_grid_system, 6)
+        prima_rom, _, _ = prima_reduce(rc_grid_system, 6)
+        err_eks = max_relative_error(rc_grid_system, eks_rom, omegas,
+                                     output=0, port=1)
+        err_prima = max_relative_error(rc_grid_system, prima_rom, omegas,
+                                       output=0, port=1)
+        assert err_eks > 1e3 * err_prima
+
+    def test_inaccurate_for_new_input_pattern(self, rc_grid_system):
+        # Rebuilding the excitation changes the response; the ROM built for
+        # all-ones weights mispredicts the response to a different pattern.
+        m = rc_grid_system.n_ports
+        rom, _, _ = eks_reduce(rc_grid_system, 6,
+                               port_weights=np.ones(m))
+        new_pattern = np.zeros(m)
+        new_pattern[0] = 1.0
+        s = 1j * 1e7
+        y_full = rc_grid_system.transfer_function(s) @ new_pattern
+        y_rom = rom.transfer_function(s) @ new_pattern
+        err = np.linalg.norm(y_rom - y_full) / np.linalg.norm(y_full)
+        assert err > 1e-3
+
+    def test_custom_weights_change_rom(self, rc_grid_system):
+        m = rc_grid_system.n_ports
+        rom_a, _, _ = eks_reduce(rc_grid_system, 3, port_weights=np.ones(m))
+        weights_b = np.linspace(1.0, 2.0, m)
+        rom_b, _, _ = eks_reduce(rc_grid_system, 3, port_weights=weights_b)
+        # compare with a relative tolerance only: the C entries are O(1e-15)
+        # farads, far below numpy's default absolute tolerance
+        assert not np.allclose(rom_a.C, rom_b.C, rtol=1e-6, atol=0.0)
+
+    def test_input_moment_weights_extend_basis(self, rc_grid_system):
+        m = rc_grid_system.n_ports
+        # the extra input-moment direction must differ from the zeroth-order
+        # weights, otherwise it deflates away immediately
+        extra = np.linspace(0.5, 2.0, m)
+        rom, _, _ = eks_reduce(rc_grid_system, 3,
+                               input_moment_weights=[extra])
+        assert rom.size <= 6
+        assert rom.size > 3
+
+    def test_invalid_inputs(self, rc_grid_system):
+        m = rc_grid_system.n_ports
+        with pytest.raises(ReductionError):
+            eks_reduce(rc_grid_system, 0)
+        with pytest.raises(ReductionError):
+            eks_reduce(rc_grid_system, 2, port_weights=np.ones(m + 1))
+        with pytest.raises(ReductionError):
+            eks_reduce(rc_grid_system, 2, port_weights=np.zeros(m))
+        with pytest.raises(ReductionError):
+            eks_reduce(rc_grid_system, 2,
+                       input_moment_weights=[np.ones(m + 2)])

@@ -1,0 +1,104 @@
+"""Integration tests checking the *shape* of the paper's headline results.
+
+These are the assertions EXPERIMENTS.md leans on: not absolute CPU seconds,
+but the orderings and ratios the paper reports —
+
+* Table I: ROM sizes and reusability per method;
+* Table II: BDSM needs (far) fewer orthonormalisation operations than PRIMA
+  and SVDMOR; EKS is the cheapest but not reusable;
+* Fig. 4: BDSM ROM sparsity around 1/m versus PRIMA's dense ROM;
+* Fig. 5: relative-error ordering BDSM ~ PRIMA << SVDMOR < EKS.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    bdsm_reduce,
+    eks_reduce,
+    make_benchmark,
+    prima_reduce,
+    svdmor_reduce,
+)
+from repro.core.cost_model import compare_costs
+from repro.validation import max_relative_error, rom_structure_report
+
+
+@pytest.fixture(scope="module")
+def ckt1_smoke():
+    return make_benchmark("ckt1", scale="smoke")
+
+
+@pytest.fixture(scope="module")
+def all_roms(ckt1_smoke):
+    l = 4
+    return {
+        "BDSM": bdsm_reduce(ckt1_smoke, l),
+        "PRIMA": prima_reduce(ckt1_smoke, l),
+        "SVDMOR": svdmor_reduce(ckt1_smoke, l, alpha=0.6),
+        "EKS": eks_reduce(ckt1_smoke, l),
+    }
+
+
+class TestTableIShapes:
+    def test_rom_sizes(self, ckt1_smoke, all_roms):
+        m, l = ckt1_smoke.n_ports, 4
+        assert all_roms["BDSM"][0].size == m * l
+        assert all_roms["PRIMA"][0].size == m * l
+        assert all_roms["SVDMOR"][0].size == round(0.6 * m) * l
+        assert all_roms["EKS"][0].size <= l
+
+    def test_reusability_flags(self, all_roms):
+        assert all_roms["BDSM"][0].reusable
+        assert all_roms["PRIMA"][0].reusable
+        assert all_roms["SVDMOR"][0].reusable
+        assert not all_roms["EKS"][0].reusable
+
+    def test_rom_patterns(self, all_roms):
+        bdsm_report = rom_structure_report(all_roms["BDSM"][0])
+        prima_report = rom_structure_report(all_roms["PRIMA"][0])
+        assert bdsm_report.block_sizes            # block-diagonal
+        assert not prima_report.block_sizes       # full dense
+
+
+class TestTableIIShapes:
+    def test_orthonormalisation_ordering(self, all_roms):
+        ops = {name: stats.inner_products
+               for name, (_, stats, _) in all_roms.items()}
+        assert ops["BDSM"] < ops["SVDMOR"] < ops["PRIMA"]
+        assert ops["EKS"] <= ops["BDSM"]
+
+    def test_measured_ratio_tracks_cost_model(self, ckt1_smoke, all_roms):
+        m, l = ckt1_smoke.n_ports, 4
+        predicted = compare_costs(m, l).ortho_speedup
+        measured = (all_roms["PRIMA"][1].inner_products
+                    / all_roms["BDSM"][1].inner_products)
+        # both counts include re-orthogonalisation; the ratio should sit
+        # within a factor ~3 of the idealised prediction
+        assert predicted / 3 < measured < predicted * 3
+
+    def test_rom_nnz_ordering(self, all_roms):
+        assert all_roms["BDSM"][0].nnz < all_roms["SVDMOR"][0].nnz \
+            <= all_roms["PRIMA"][0].nnz
+
+
+class TestFig4Shapes:
+    def test_bdsm_density_is_one_over_m(self, ckt1_smoke, all_roms):
+        m = ckt1_smoke.n_ports
+        density = all_roms["BDSM"][0].density()
+        assert density["G"] <= 1 / m + 1e-9
+        assert density["B"] <= 1 / m + 1e-9
+        assert all_roms["PRIMA"][0].density()["G"] > 0.95
+
+
+class TestFig5Shapes:
+    def test_relative_error_ordering(self, ckt1_smoke, all_roms):
+        omegas = np.logspace(5, 9, 6)
+        errors = {name: max_relative_error(ckt1_smoke, rom, omegas,
+                                           output=0, port=1)
+                  for name, (rom, _, _) in all_roms.items()}
+        assert errors["BDSM"] < 1e-6
+        assert errors["PRIMA"] < 1e-6
+        assert errors["SVDMOR"] > 100 * max(errors["BDSM"], errors["PRIMA"])
+        assert errors["EKS"] > errors["BDSM"]
+        assert errors["EKS"] > 1e-2

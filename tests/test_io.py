@@ -1,0 +1,106 @@
+"""Unit tests for repro.io (matrix persistence and table formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import (
+    format_table,
+    load_descriptor_npz,
+    save_descriptor_npz,
+    save_matrix_market,
+    write_table,
+)
+
+
+class TestDescriptorNpz:
+    def test_roundtrip(self, rc_grid_system, tmp_path):
+        path = tmp_path / "grid.npz"
+        save_descriptor_npz(rc_grid_system, path)
+        loaded = load_descriptor_npz(path)
+        assert loaded.size == rc_grid_system.size
+        assert loaded.n_ports == rc_grid_system.n_ports
+        assert loaded.port_names == rc_grid_system.port_names
+        assert loaded.name == rc_grid_system.name
+        s = 1j * 1e8
+        assert np.allclose(loaded.transfer_function(s),
+                           rc_grid_system.transfer_function(s))
+
+    def test_const_input_preserved(self, tmp_path):
+        from repro.circuit import Netlist, assemble_mna
+        net = Netlist(title="vdd-grid")
+        net.add_voltage_source("V1", "a", "0", 1.0)
+        net.add_resistor("R1", "a", "b", 1.0)
+        net.add_resistor("R2", "b", "0", 1.0)
+        net.add_capacitor("C1", "b", "0", 1e-12)
+        net.add_current_source("I1", "b", "0", 1e-3)
+        system = assemble_mna(net)
+        assert system.const_input is not None
+        path = tmp_path / "vdd.npz"
+        save_descriptor_npz(system, path)
+        loaded = load_descriptor_npz(path)
+        assert np.allclose(loaded.const_input, system.const_input)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_descriptor_npz(tmp_path / "missing.npz")
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(ValidationError):
+            load_descriptor_npz(path)
+
+
+class TestMatrixMarket:
+    def test_export_creates_readable_file(self, rc_grid_system, tmp_path):
+        import scipy.io
+        path = save_matrix_market(rc_grid_system.G, tmp_path / "G.mtx",
+                                  comment="conductance")
+        matrix = scipy.io.mmread(str(path))
+        assert np.allclose(matrix.toarray(), rc_grid_system.G.toarray())
+
+    def test_suffix_added_when_missing(self, rc_grid_system, tmp_path):
+        path = save_matrix_market(rc_grid_system.C, tmp_path / "C")
+        assert path.exists()
+
+
+class TestTables:
+    ROWS = [
+        {"method": "BDSM", "ROM size": 306, "MOR time (s)": 8.18},
+        {"method": "PRIMA", "ROM size": 306, "MOR time (s)": 29.37},
+        {"method": "EKS", "ROM size": 6, "MOR time (s)": None},
+    ]
+
+    def test_format_contains_all_cells(self):
+        text = format_table(self.ROWS, title="Table II (ckt1)")
+        assert "Table II (ckt1)" in text
+        assert "BDSM" in text and "PRIMA" in text and "EKS" in text
+        assert "306" in text
+        assert "-" in text             # None rendered as dash
+
+    def test_column_order_respected(self):
+        text = format_table(self.ROWS, columns=["ROM size", "method"])
+        header = text.splitlines()[0]
+        assert header.index("ROM size") < header.index("method")
+
+    def test_missing_keys_render_as_dash(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([])
+
+    def test_write_table(self, tmp_path):
+        path = tmp_path / "report.txt"
+        write_table(self.ROWS, path, title="first")
+        write_table(self.ROWS, path, title="second", append=True)
+        content = path.read_text()
+        assert "first" in content and "second" in content
+
+    def test_float_rendering(self):
+        text = format_table([{"x": 0.000123456, "y": 123456.7, "z": 0.0}])
+        assert "0.000123" in text
+        assert "1.23e+05" in text
+        assert " 0" in text or "0 " in text

@@ -1,0 +1,183 @@
+"""Unit tests for repro.linalg.krylov."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DeflationError, ReductionError
+from repro.linalg.krylov import (
+    ShiftedOperator,
+    block_krylov_basis,
+    column_clustered_krylov_bases,
+    krylov_candidate_blocks,
+)
+
+
+def _small_rc_matrices(n=12, seed=3):
+    """Dense SPD-like (C, G, B) matrices mimicking an RC grid pencil."""
+    rng = np.random.default_rng(seed)
+    lap = np.diag(2.0 * np.ones(n)) - np.diag(np.ones(n - 1), 1) \
+        - np.diag(np.ones(n - 1), -1)
+    lap[0, 0] += 1.0
+    G = -sp.csr_matrix(lap)                     # paper convention: G = -G_mna
+    C = sp.diags(rng.uniform(0.5, 1.5, size=n)).tocsr()
+    B = np.zeros((n, 3))
+    B[1, 0] = 1.0
+    B[5, 1] = 1.0
+    B[9, 2] = 1.0
+    return C, G, sp.csr_matrix(B)
+
+
+class TestShiftedOperator:
+    def test_solve_matches_direct(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        rhs = np.arange(1.0, 13.0)
+        x = op.solve(rhs)
+        assert np.allclose((-G) @ x, rhs)
+
+    def test_solve_multiple_rhs(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=1e3)
+        X = op.solve(B.toarray())
+        pencil = (1e3 * C - G).toarray()
+        assert np.allclose(pencil @ X, B.toarray())
+
+    def test_apply_is_operator_times_x(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        x = np.ones(12)
+        direct = np.linalg.solve((-G).toarray(), (C @ x))
+        assert np.allclose(op.apply(x), direct)
+
+    def test_complex_expansion_point(self):
+        C, G, B = _small_rc_matrices()
+        s0 = 1j * 1e6
+        op = ShiftedOperator(C, G, s0=s0)
+        rhs = np.ones(12)
+        x = op.solve(rhs)
+        pencil = (s0 * C.toarray() - G.toarray())
+        assert np.allclose(pencil @ x, rhs)
+
+    def test_solve_count_increments(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        op.solve(np.ones(12))
+        op.solve(np.ones((12, 4)))
+        assert op.solve_count == 5
+
+    def test_shape_mismatch_rejected(self):
+        C, G, _ = _small_rc_matrices()
+        with pytest.raises(ReductionError):
+            ShiftedOperator(C, sp.eye(5, format="csr"))
+
+    def test_wrong_rhs_length_rejected(self):
+        C, G, _ = _small_rc_matrices()
+        op = ShiftedOperator(C, G)
+        with pytest.raises(ReductionError):
+            op.solve(np.ones(7))
+
+
+class TestCandidateBlocks:
+    def test_recursion_definition(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        blocks = krylov_candidate_blocks(op, B, 3)
+        assert len(blocks) == 3
+        A = np.linalg.solve((-G).toarray(), C.toarray())
+        R = np.linalg.solve((-G).toarray(), B.toarray())
+        assert np.allclose(blocks[0], R)
+        assert np.allclose(blocks[1], A @ R)
+        assert np.allclose(blocks[2], A @ A @ R)
+
+    def test_order_must_be_positive(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G)
+        with pytest.raises(ValueError):
+            krylov_candidate_blocks(op, B, 0)
+
+
+class TestBlockKrylovBasis:
+    def test_orthonormal_and_expected_size(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        result = block_krylov_basis(op, B, 3)
+        V = result.basis
+        assert V.shape == (12, 9)
+        assert np.allclose(V.T @ V, np.eye(9), atol=1e-10)
+
+    def test_spans_candidate_blocks(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        result = block_krylov_basis(op, B, 2)
+        V = result.basis
+        blocks = krylov_candidate_blocks(op, B, 2)
+        target = np.hstack(blocks)
+        proj = V @ (V.T @ target)
+        assert np.allclose(proj, target, atol=1e-8)
+
+    def test_deflation_flag_for_dependent_inputs(self):
+        C, G, B = _small_rc_matrices()
+        B_dep = sp.csr_matrix(np.hstack([B.toarray(), B.toarray()[:, :1]]))
+        op = ShiftedOperator(C, G, s0=0.0)
+        result = block_krylov_basis(op, B_dep, 2)
+        assert result.deflated
+        assert result.basis.shape[1] < 8
+
+    def test_zero_input_raises(self):
+        C, G, _ = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        with pytest.raises(DeflationError):
+            block_krylov_basis(op, np.zeros((12, 2)), 2)
+
+
+class TestColumnClusteredBases:
+    def test_one_basis_per_column(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        bases, stats, deflated = column_clustered_krylov_bases(op, B, 4)
+        assert len(bases) == 3
+        assert not deflated
+        for V in bases:
+            assert V.shape == (12, 4)
+            assert np.allclose(V.T @ V, np.eye(4), atol=1e-10)
+
+    def test_each_basis_spans_single_column_krylov(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        bases, _, _ = column_clustered_krylov_bases(op, B, 3)
+        A = np.linalg.solve((-G).toarray(), C.toarray())
+        for i, V in enumerate(bases):
+            r = np.linalg.solve((-G).toarray(), B.toarray()[:, i])
+            target = np.column_stack([r, A @ r, A @ A @ r])
+            proj = V @ (V.T @ target)
+            assert np.allclose(proj, target, atol=1e-8)
+
+    def test_column_subset(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        bases, _, _ = column_clustered_krylov_bases(op, B, 2, columns=[2])
+        assert len(bases) == 1
+        assert bases[0].shape == (12, 2)
+
+    def test_invalid_column_rejected(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        with pytest.raises(ValueError):
+            column_clustered_krylov_bases(op, B, 2, columns=[5])
+
+    def test_clustered_cheaper_than_global(self):
+        C, G, B = _small_rc_matrices()
+        op = ShiftedOperator(C, G, s0=0.0)
+        _, clustered_stats, _ = column_clustered_krylov_bases(op, B, 4)
+        global_result = block_krylov_basis(op, B, 4)
+        assert clustered_stats.inner_products \
+            < global_result.stats.inner_products
+
+    def test_zero_column_raises(self):
+        C, G, B = _small_rc_matrices()
+        B_zero = B.toarray().copy()
+        B_zero[:, 1] = 0.0
+        op = ShiftedOperator(C, G, s0=0.0)
+        with pytest.raises(DeflationError):
+            column_clustered_krylov_bases(op, B_zero, 2)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.linalg.moments."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.moments import system_moments, transfer_moments
+
+
+def _dense_moments_by_series(C, G, B, L, n_moments, s0):
+    """Reference computation: Taylor coefficients via repeated solves."""
+    A = np.linalg.solve(s0 * C - G, C)
+    R = np.linalg.solve(s0 * C - G, B)
+    moments = []
+    current = R
+    for _ in range(n_moments):
+        moments.append(L @ current)
+        current = -A @ current
+    return moments
+
+
+class TestSystemMoments:
+    def test_matches_dense_reference(self, rng):
+        n = 8
+        Gm = np.diag(3.0 * np.ones(n)) + rng.normal(scale=0.1, size=(n, n))
+        Gm = -(Gm + Gm.T) / 2
+        C = np.diag(rng.uniform(0.5, 1.5, size=n))
+        B = rng.normal(size=(n, 2))
+        L = rng.normal(size=(3, n))
+        got = system_moments(sp.csr_matrix(C), sp.csr_matrix(Gm),
+                             sp.csr_matrix(B), sp.csr_matrix(L), 4, s0=0.0)
+        want = _dense_moments_by_series(C, Gm, B, L, 4, s0=0.0)
+        for g, w in zip(got, want):
+            assert np.allclose(g, w)
+
+    def test_nonzero_expansion_point(self, rng):
+        n = 6
+        Gm = -np.diag(np.arange(1.0, n + 1.0))
+        C = np.eye(n)
+        B = rng.normal(size=(n, 1))
+        L = rng.normal(size=(1, n))
+        s0 = 2.5
+        got = system_moments(C, Gm, B, L, 3, s0=s0)
+        want = _dense_moments_by_series(C, Gm, B, L, 3, s0=s0)
+        for g, w in zip(got, want):
+            assert np.allclose(g, w)
+
+    def test_moments_reconstruct_taylor_series(self, rng):
+        # For small (s - s0), H(s) ~= sum_k M_k (s - s0)^k.
+        n = 5
+        Gm = -(np.diag(2.0 * np.ones(n)) + 0.1 * np.eye(n, k=1)
+               + 0.1 * np.eye(n, k=-1))
+        C = np.diag(rng.uniform(0.5, 1.0, size=n))
+        B = rng.normal(size=(n, 1))
+        L = rng.normal(size=(1, n))
+        s0, ds = 1.0, 1e-3
+        moments = system_moments(C, Gm, B, L, 6, s0=s0)
+        series = sum(M * ds ** k for k, M in enumerate(moments))
+        exact = L @ np.linalg.solve((s0 + ds) * C - Gm, B)
+        assert np.allclose(series, exact, rtol=1e-10)
+
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            system_moments(np.eye(2), -np.eye(2), np.ones((2, 1)),
+                           np.ones((1, 2)), 0)
+
+
+class TestTransferMoments:
+    def test_works_on_descriptor_like_objects(self, rc_ladder_system):
+        moments = transfer_moments(rc_ladder_system, 3)
+        assert len(moments) == 3
+        assert moments[0].shape == (rc_ladder_system.n_outputs,
+                                    rc_ladder_system.n_ports)
+
+    def test_dc_moment_equals_transfer_at_zero(self, rc_ladder_system):
+        moments = transfer_moments(rc_ladder_system, 1, s0=0.0)
+        H0 = rc_ladder_system.transfer_function(0.0)
+        assert np.allclose(moments[0], np.real(H0))

@@ -1,0 +1,100 @@
+"""Unit tests for repro.mor.base (ReducedSystem, ResourceBudget, summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError, ResourceBudgetExceeded
+from repro.mor.base import ReducedSystem, ReductionSummary, ResourceBudget
+
+
+def _tiny_rom():
+    C = np.diag([1.0, 2.0])
+    G = -np.diag([1.0, 1.0])
+    B = np.array([[1.0], [0.0]])
+    L = np.array([[1.0, 1.0]])
+    return ReducedSystem(C=C, G=G, B=B, L=L, method="TEST", n_moments=2,
+                         original_size=100, original_ports=1, name="tiny")
+
+
+class TestResourceBudget:
+    def test_unlimited_never_raises(self):
+        ResourceBudget.unlimited().check_dense(10 ** 6, 10 ** 6, what="huge")
+
+    def test_exceeding_budget_raises(self):
+        budget = ResourceBudget(max_dense_bytes=1000, label="tiny budget")
+        with pytest.raises(ResourceBudgetExceeded) as err:
+            budget.check_dense(100, 100, what="basis")
+        assert err.value.required_bytes == 100 * 100 * 8
+        assert err.value.budget_bytes == 1000
+
+    def test_within_budget_passes(self):
+        ResourceBudget(max_dense_bytes=10 ** 6).check_dense(10, 10,
+                                                            what="basis")
+
+    def test_table_ii_preset(self):
+        budget = ResourceBudget.table_ii()
+        assert budget.max_dense_bytes == ResourceBudget.TABLE_II_DEFAULT_BYTES
+
+
+class TestReducedSystem:
+    def test_dimensions(self):
+        rom = _tiny_rom()
+        assert rom.size == 2
+        assert rom.n_ports == 1
+        assert rom.n_outputs == 1
+        assert rom.nnz == 2 + 2 + 1
+
+    def test_transfer_function_matches_manual(self):
+        rom = _tiny_rom()
+        s = 1j * 3.0
+        pencil = s * rom.C - rom.G
+        expected = rom.L @ np.linalg.solve(pencil, rom.B.astype(complex))
+        assert np.allclose(rom.transfer_function(s), expected)
+        assert rom.transfer_entry(s, 0, 0) == pytest.approx(expected[0, 0])
+
+    def test_density(self):
+        rom = _tiny_rom()
+        density = rom.density()
+        assert density["C"] == pytest.approx(0.5)
+        assert density["B"] == pytest.approx(0.5)
+
+    def test_reconstruct_state_requires_projection(self):
+        rom = _tiny_rom()
+        with pytest.raises(ReductionError):
+            rom.reconstruct_state(np.ones(2))
+
+    def test_reconstruct_state_with_projection(self):
+        rom = _tiny_rom()
+        rom.projection = np.vstack([np.eye(2), np.zeros((3, 2))])
+        lifted = rom.reconstruct_state(np.array([1.0, 2.0]))
+        assert lifted.shape == (5,)
+        assert np.allclose(lifted[:2], [1.0, 2.0])
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(ReductionError):
+            ReducedSystem(C=np.eye(2), G=np.eye(3), B=np.ones((2, 1)),
+                          L=np.ones((1, 2)))
+        with pytest.raises(ReductionError):
+            ReducedSystem(C=np.eye(2), G=np.eye(2), B=np.ones((3, 1)),
+                          L=np.ones((1, 2)))
+
+    def test_summary_row(self):
+        rom = _tiny_rom()
+        summary = rom.summary(mor_seconds=1.25)
+        row = summary.as_row()
+        assert row["method"] == "TEST"
+        assert row["ROM size"] == 2
+        assert row["MOR time (s)"] == 1.25
+        assert row["status"] == "ok"
+        assert row["reusable"] == "yes"
+
+
+class TestReductionSummary:
+    def test_break_down_record(self):
+        summary = ReductionSummary.break_down(
+            "PRIMA", "ckt4", original_size=123_000, original_ports=315,
+            reason="dense basis exceeds budget")
+        row = summary.as_row()
+        assert row["status"] == "break down"
+        assert row["ROM size"] is None
+        assert row["MOR time (s)"] is None

@@ -1,0 +1,108 @@
+"""Unit tests for repro.circuit.netlist."""
+
+import pytest
+
+from repro.circuit.elements import Resistor
+from repro.circuit.netlist import Netlist
+from repro.exceptions import CircuitError
+
+
+def _minimal_netlist():
+    net = Netlist(title="minimal")
+    net.add_resistor("R1", "a", "0", 1.0)
+    net.add_capacitor("C1", "a", "0", 1e-9)
+    net.add_current_source("I1", "a", "0", 1e-3)
+    return net
+
+
+class TestConstruction:
+    def test_convenience_adders(self):
+        net = Netlist()
+        net.add_resistor("R1", "a", "b", 2.0)
+        net.add_capacitor("C1", "b", "0", 1e-12)
+        net.add_inductor("L1", "a", "c", 1e-9)
+        net.add_current_source("I1", "c", "0", 1.0)
+        net.add_voltage_source("V1", "a", "0", 1.8)
+        assert len(net) == 5
+        assert net.summary() == {
+            "nodes": 3, "resistors": 1, "capacitors": 1, "inductors": 1,
+            "current_sources": 1, "voltage_sources": 1}
+
+    def test_duplicate_names_rejected(self):
+        net = Netlist()
+        net.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            net.add_resistor("R1", "b", "0", 1.0)
+
+    def test_only_elements_accepted(self):
+        with pytest.raises(CircuitError):
+            Netlist().add("not an element")  # type: ignore[arg-type]
+
+    def test_contains_and_getitem(self):
+        net = _minimal_netlist()
+        assert "R1" in net
+        assert isinstance(net["R1"], Resistor)
+        with pytest.raises(KeyError):
+            net["R99"]
+
+    def test_iteration_order_preserved(self):
+        net = _minimal_netlist()
+        assert [e.name for e in net] == ["R1", "C1", "I1"]
+
+
+class TestNodesAndPorts:
+    def test_nodes_exclude_ground(self):
+        net = _minimal_netlist()
+        assert net.nodes() == ["a"]
+        assert net.n_nodes == 1
+
+    def test_n_ports_counts_current_sources(self):
+        net = _minimal_netlist()
+        net.add_current_source("I2", "a", "0", 1.0)
+        assert net.n_ports == 2
+
+    def test_default_output_nodes_are_port_nodes(self):
+        net = _minimal_netlist()
+        assert net.output_nodes == ["a"]
+
+    def test_set_output_nodes(self):
+        net = _minimal_netlist()
+        net.add_resistor("R2", "a", "b", 1.0)
+        net.add_capacitor("C2", "b", "0", 1e-9)
+        net.set_output_nodes(["b"])
+        assert net.output_nodes == ["b"]
+
+    def test_set_unknown_output_node_rejected(self):
+        net = _minimal_netlist()
+        with pytest.raises(CircuitError):
+            net.set_output_nodes(["zz"])
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        _minimal_netlist().validate()
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(CircuitError):
+            Netlist().validate()
+
+    def test_missing_ground_rejected(self):
+        net = Netlist()
+        net.add_resistor("R1", "a", "b", 1.0)
+        net.add_resistor("R2", "a", "b", 1.0)
+        net.add_current_source("I1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            net.validate()
+
+    def test_dangling_node_rejected(self):
+        net = _minimal_netlist()
+        net.add_resistor("R2", "a", "dangling", 1.0)
+        with pytest.raises(CircuitError, match="dangling"):
+            net.validate()
+
+    def test_no_sources_rejected(self):
+        net = Netlist()
+        net.add_resistor("R1", "a", "0", 1.0)
+        net.add_resistor("R2", "a", "0", 1.0)
+        with pytest.raises(CircuitError, match="source"):
+            net.validate()

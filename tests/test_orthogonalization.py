@@ -1,0 +1,130 @@
+"""Unit tests for repro.linalg.orthogonalization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeflationError
+from repro.linalg.orthogonalization import (
+    OrthoStats,
+    modified_gram_schmidt,
+    orthonormalize_against,
+    theoretical_inner_products,
+)
+
+
+class TestOrthoStats:
+    def test_merge_accumulates(self):
+        a = OrthoStats(1, 2, 3, 4)
+        b = OrthoStats(10, 20, 30, 40)
+        a.merge(b)
+        assert (a.inner_products, a.axpy_updates,
+                a.normalizations, a.deflations) == (11, 22, 33, 44)
+
+    def test_add_returns_new_object(self):
+        a = OrthoStats(1, 1, 1, 0)
+        b = OrthoStats(2, 2, 2, 1)
+        c = a + b
+        assert c.inner_products == 3
+        assert a.inner_products == 1
+
+
+class TestOrthonormalizeAgainst:
+    def test_empty_basis_normalizes(self):
+        q = orthonormalize_against(np.array([3.0, 4.0]), None)
+        assert np.allclose(np.linalg.norm(q), 1.0)
+        assert np.allclose(q, [0.6, 0.8])
+
+    def test_orthogonal_to_basis(self, rng):
+        basis, _ = modified_gram_schmidt(rng.normal(size=(10, 3)))
+        q = orthonormalize_against(rng.normal(size=10), basis)
+        assert np.allclose(basis.T @ q, 0.0, atol=1e-12)
+        assert np.linalg.norm(q) == pytest.approx(1.0)
+
+    def test_dependent_vector_deflates(self):
+        basis = np.array([[1.0], [0.0]])
+        stats = OrthoStats()
+        q = orthonormalize_against(np.array([2.0, 0.0]), basis, stats=stats)
+        assert q is None
+        assert stats.deflations == 1
+
+    def test_zero_vector_deflates(self):
+        stats = OrthoStats()
+        assert orthonormalize_against(np.zeros(4), None, stats=stats) is None
+        assert stats.deflations == 1
+
+    def test_stats_counting(self):
+        basis = np.column_stack([np.eye(5)[:, 0], np.eye(5)[:, 1]])
+        stats = OrthoStats()
+        orthonormalize_against(np.ones(5), basis, stats=stats,
+                               reorthogonalize=False)
+        assert stats.inner_products == 2
+        assert stats.normalizations == 1
+
+
+class TestModifiedGramSchmidt:
+    def test_produces_orthonormal_basis(self, rng):
+        candidates = rng.normal(size=(20, 6))
+        basis, _ = modified_gram_schmidt(candidates)
+        assert basis.shape == (20, 6)
+        assert np.allclose(basis.T @ basis, np.eye(6), atol=1e-10)
+
+    def test_spans_same_space(self, rng):
+        candidates = rng.normal(size=(15, 4))
+        basis, _ = modified_gram_schmidt(candidates)
+        # Every candidate is reproduced by its projection onto the basis.
+        proj = basis @ (basis.T @ candidates)
+        assert np.allclose(proj, candidates, atol=1e-8)
+
+    def test_rank_deficient_input_drops_columns(self, rng):
+        col = rng.normal(size=(10, 1))
+        candidates = np.hstack([col, 2 * col, rng.normal(size=(10, 1))])
+        basis, stats = modified_gram_schmidt(candidates)
+        assert basis.shape[1] == 2
+        assert stats.deflations == 1
+
+    def test_require_full_rank_raises(self, rng):
+        col = rng.normal(size=(8, 1))
+        candidates = np.hstack([col, col])
+        with pytest.raises(DeflationError):
+            modified_gram_schmidt(candidates, require_full_rank=True)
+
+    def test_respects_initial_basis(self, rng):
+        initial, _ = modified_gram_schmidt(rng.normal(size=(12, 3)))
+        new, _ = modified_gram_schmidt(rng.normal(size=(12, 2)),
+                                       initial_basis=initial)
+        assert new.shape[1] == 2
+        assert np.allclose(initial.T @ new, 0.0, atol=1e-10)
+
+    def test_initial_basis_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            modified_gram_schmidt(rng.normal(size=(5, 2)),
+                                  initial_basis=np.eye(6))
+
+    def test_one_dimensional_input(self):
+        basis, _ = modified_gram_schmidt(np.array([0.0, 2.0, 0.0]))
+        assert basis.shape == (3, 1)
+        assert np.allclose(basis[:, 0], [0.0, 1.0, 0.0])
+
+    def test_all_zero_candidates_give_empty_basis(self):
+        basis, stats = modified_gram_schmidt(np.zeros((5, 3)))
+        assert basis.shape == (5, 0)
+        assert stats.deflations == 3
+
+
+class TestTheoreticalInnerProducts:
+    def test_paper_formulas(self):
+        m, l = 51, 6
+        assert theoretical_inner_products(m, l, clustered=True) \
+            == m * l * (l - 1) // 2
+        assert theoretical_inner_products(m, l, clustered=False) \
+            == (m * l) * (m * l - 1) // 2
+
+    def test_clustered_never_exceeds_global(self):
+        for m in (1, 3, 10, 100):
+            for l in (1, 2, 5, 8):
+                assert theoretical_inner_products(m, l, clustered=True) <= \
+                    theoretical_inner_products(m, l, clustered=False)
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            theoretical_inner_products(-1, 2, clustered=True)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.circuit.powergrid."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import PowerGridSpec, assemble_mna, build_power_grid
+from repro.exceptions import CircuitError
+
+
+class TestPowerGridSpec:
+    def test_mesh_node_count(self):
+        spec = PowerGridSpec(rows=5, cols=7, n_ports=3)
+        assert spec.n_mesh_nodes == 35
+
+    def test_has_package_flag(self):
+        rc = PowerGridSpec(rows=4, cols=4, n_ports=2, package_inductance=0.0)
+        rlc = PowerGridSpec(rows=4, cols=4, n_ports=2, package_inductance=1e-12)
+        assert not rc.has_package
+        assert rlc.has_package
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rows": 1, "cols": 4, "n_ports": 1},
+        {"rows": 4, "cols": 4, "n_ports": 0},
+        {"rows": 3, "cols": 3, "n_ports": 10},
+        {"rows": 4, "cols": 4, "n_ports": 2, "n_pads": 0},
+        {"rows": 4, "cols": 4, "n_ports": 2, "variation": 1.5},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(CircuitError):
+            PowerGridSpec(**kwargs)
+
+
+class TestBuildPowerGrid:
+    def test_counts_rc_grid(self):
+        spec = PowerGridSpec(rows=4, cols=5, n_ports=3, n_pads=2,
+                             package_inductance=0.0, seed=1)
+        net = build_power_grid(spec)
+        summary = net.summary()
+        # rails: 4*(5-1) horizontal + 5*(4-1) vertical, plus 2 pad resistors
+        # (mesh->pad) and 2 pad-to-ground resistors.
+        assert summary["resistors"] == 4 * 4 + 5 * 3 + 2 + 2
+        assert summary["capacitors"] == 20
+        assert summary["inductors"] == 0
+        assert summary["current_sources"] == 3
+        net.validate()
+
+    def test_counts_rlc_grid_with_ideal_pads(self):
+        spec = PowerGridSpec(rows=4, cols=4, n_ports=2, n_pads=3,
+                             package_inductance=1e-12, use_ideal_pads=True,
+                             seed=2)
+        net = build_power_grid(spec)
+        summary = net.summary()
+        assert summary["inductors"] == 3
+        assert summary["voltage_sources"] == 3
+        net.validate()
+
+    def test_output_nodes_are_port_nodes(self):
+        spec = PowerGridSpec(rows=5, cols=5, n_ports=4, seed=3)
+        net = build_power_grid(spec)
+        assert len(net.output_nodes) == 4
+        port_nodes = {s.node_pos for s in net.current_sources}
+        assert set(net.output_nodes) == port_nodes
+
+    def test_deterministic_for_same_seed(self):
+        spec = PowerGridSpec(rows=5, cols=5, n_ports=4, seed=9)
+        a = build_power_grid(spec)
+        b = build_power_grid(spec)
+        assert [e.spice_line() for e in a] == [e.spice_line() for e in b]
+
+    def test_different_seed_changes_values(self):
+        a = build_power_grid(PowerGridSpec(rows=5, cols=5, n_ports=4, seed=1))
+        b = build_power_grid(PowerGridSpec(rows=5, cols=5, n_ports=4, seed=2))
+        assert [e.spice_line() for e in a] != [e.spice_line() for e in b]
+
+    def test_zero_variation_gives_nominal_values(self):
+        spec = PowerGridSpec(rows=3, cols=3, n_ports=1, variation=0.0,
+                             rail_resistance=2.5, seed=0)
+        net = build_power_grid(spec)
+        rail_values = {r.value for r in net.resistors
+                       if r.name.startswith("R") and not
+                       r.name.startswith(("Rpkg", "Rpad"))}
+        assert rail_values == {2.5}
+
+    def test_stamps_into_solvable_system(self):
+        spec = PowerGridSpec(rows=6, cols=6, n_ports=5, seed=4)
+        system = assemble_mna(build_power_grid(spec))
+        H0 = system.transfer_function(0.0)
+        assert H0.shape == (5, 5)
+        assert np.all(np.isfinite(H0))
+        # driving-point DC resistances are negative in our sign convention
+        # (the source draws current) and non-zero.
+        assert np.all(np.diag(np.real(H0)) < 0.0)

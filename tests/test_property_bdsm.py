@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for BDSM invariants.
+
+Each example builds a random small power grid, reduces it, and checks the
+structural and accuracy invariants the paper's derivation rests on:
+
+* ``H(s) = sum_i H_i(s)`` after input-matrix splitting;
+* the ROM is block-diagonal with one block per port;
+* the ROM matches the full model closely near the expansion point;
+* the ROM never has more stored non-zeros than the paper's ``2 m l^2 + m l``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import PowerGridSpec, assemble_mna, build_power_grid
+from repro.core import bdsm_reduce
+from repro.core.splitting import split_system
+from repro.validation import count_matched_moments
+
+SETTINGS = settings(max_examples=10, deadline=None)
+
+
+@st.composite
+def small_systems(draw):
+    rows = draw(st.integers(min_value=3, max_value=6))
+    cols = draw(st.integers(min_value=3, max_value=6))
+    n_ports = draw(st.integers(min_value=2,
+                               max_value=min(5, rows * cols)))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 5))
+    package = draw(st.sampled_from([0.0, 1e-12]))
+    spec = PowerGridSpec(rows=rows, cols=cols, n_ports=n_ports, n_pads=2,
+                         package_inductance=package, seed=seed)
+    return assemble_mna(build_power_grid(spec))
+
+
+class TestSplittingProperties:
+    @SETTINGS
+    @given(small_systems(), st.floats(min_value=5.0, max_value=9.0))
+    def test_transfer_sum_identity(self, system, log_omega):
+        s = 1j * 10.0 ** log_omega
+        H = system.transfer_function(s)
+        total = np.zeros_like(H)
+        for i in range(system.n_ports):
+            total += split_system(system, i).transfer_function(s)
+        assert np.allclose(total, H, rtol=1e-9, atol=1e-12)
+
+
+class TestBdsmProperties:
+    @SETTINGS
+    @given(small_systems(), st.integers(min_value=1, max_value=4))
+    def test_block_structure_and_size(self, system, l):
+        rom, _, _ = bdsm_reduce(system, l)
+        assert rom.n_blocks == system.n_ports
+        assert rom.size <= system.n_ports * l
+        assert rom.nnz <= 2 * system.n_ports * l * l + system.n_ports * l
+
+    @SETTINGS
+    @given(small_systems(), st.integers(min_value=2, max_value=4))
+    def test_moment_matching_invariant(self, system, l):
+        rom, _, _ = bdsm_reduce(system, l)
+        assert count_matched_moments(system, rom, l, tolerance=1e-5) >= l
+
+    @SETTINGS
+    @given(small_systems(), st.integers(min_value=2, max_value=4))
+    def test_dc_transfer_matrix_reproduced(self, system, l):
+        rom, _, _ = bdsm_reduce(system, l)
+        H0 = system.transfer_function(0.0)
+        H0_rom = rom.transfer_function(0.0)
+        assert np.allclose(H0_rom, H0, rtol=1e-6, atol=1e-12)
+
+    @SETTINGS
+    @given(small_systems())
+    def test_congruence_preserves_symmetry_of_rc_blocks(self, system):
+        rom, _, _ = bdsm_reduce(system, 3)
+        from repro.linalg.sparse_utils import is_symmetric
+        if is_symmetric(system.C) and is_symmetric(system.G):
+            for block in rom.blocks:
+                assert np.allclose(block.C, block.C.T, atol=1e-9)
+                assert np.allclose(block.G, block.G.T, atol=1e-9)

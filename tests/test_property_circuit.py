@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for circuit stamping and grids."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import PowerGridSpec, assemble_mna, build_power_grid
+from repro.circuit.parser import parse_netlist, write_netlist
+from repro.linalg.sparse_utils import is_symmetric
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@st.composite
+def grid_specs(draw, with_package: bool | None = None):
+    rows = draw(st.integers(min_value=3, max_value=7))
+    cols = draw(st.integers(min_value=3, max_value=7))
+    n_ports = draw(st.integers(min_value=1,
+                               max_value=min(6, rows * cols)))
+    n_pads = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    if with_package is None:
+        package = draw(st.sampled_from([0.0, 1e-12]))
+    else:
+        package = 1e-12 if with_package else 0.0
+    variation = draw(st.floats(min_value=0.0, max_value=0.5))
+    return PowerGridSpec(rows=rows, cols=cols, n_ports=n_ports,
+                         n_pads=n_pads, package_inductance=package,
+                         variation=variation, seed=seed)
+
+
+class TestGridStampingProperties:
+    @SETTINGS
+    @given(grid_specs())
+    def test_netlist_always_validates(self, spec):
+        build_power_grid(spec).validate()
+
+    @SETTINGS
+    @given(grid_specs())
+    def test_state_count_accounting(self, spec):
+        netlist = build_power_grid(spec)
+        system = assemble_mna(netlist)
+        expected = netlist.n_nodes + len(netlist.inductors) \
+            + len(netlist.voltage_sources)
+        assert system.size == expected
+        assert system.n_ports == spec.n_ports
+
+    @SETTINGS
+    @given(grid_specs(with_package=False))
+    def test_rc_grids_stamp_symmetric_matrices(self, spec):
+        system = assemble_mna(build_power_grid(spec))
+        assert is_symmetric(system.C)
+        assert is_symmetric(system.G)
+
+    @SETTINGS
+    @given(grid_specs())
+    def test_dc_pencil_is_nonsingular(self, spec):
+        system = assemble_mna(build_power_grid(spec))
+        H0 = system.transfer_function(0.0)
+        assert np.all(np.isfinite(H0))
+
+    @SETTINGS
+    @given(grid_specs())
+    def test_dc_driving_point_drops_are_nonnegative(self, spec):
+        # Every diagonal entry of -H(0) is a driving-point resistance.
+        system = assemble_mna(build_power_grid(spec))
+        H0 = np.real(system.transfer_function(0.0))
+        assert np.all(np.diag(-H0) > 0.0)
+
+    @SETTINGS
+    @given(grid_specs())
+    def test_netlist_roundtrips_through_spice_text(self, spec):
+        netlist = build_power_grid(spec)
+        reparsed = parse_netlist(write_netlist(netlist))
+        assert reparsed.summary() == netlist.summary()
+        assert reparsed.output_nodes == netlist.output_nodes
+        for a, b in zip(netlist, reparsed):
+            assert a.name == b.name
+            assert np.isclose(a.value, b.value, rtol=1e-9)

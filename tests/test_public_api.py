@@ -1,0 +1,66 @@
+"""Tests of the top-level package surface (exports, exceptions, metadata)."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPackageSurface:
+    def test_version_is_defined(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    @pytest.mark.parametrize("module", [
+        "repro.circuit", "repro.core", "repro.mor", "repro.analysis",
+        "repro.linalg", "repro.passivity", "repro.validation", "repro.io",
+        "repro.cli",
+    ])
+    def test_subpackages_import_cleanly(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_public_callables_have_docstrings(self):
+        undocumented = [
+            name for name in repro.__all__
+            if callable(getattr(repro, name))
+            and not inspect.getdoc(getattr(repro, name))
+        ]
+        assert undocumented == []
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (inspect.isclass(obj) and issubclass(obj, Exception)
+                    and obj is not exceptions.ReproError):
+                if obj.__module__ == "repro.exceptions":
+                    assert issubclass(obj, exceptions.ReproError), name
+
+    def test_netlist_parse_error_formats_location(self):
+        err = exceptions.NetlistParseError("bad token", line_number=7,
+                                           line="R1 a b oops")
+        assert "line 7" in str(err)
+        assert "R1 a b oops" in str(err)
+
+    def test_budget_error_carries_sizes(self):
+        err = exceptions.ResourceBudgetExceeded("too big",
+                                                required_bytes=100,
+                                                budget_bytes=10)
+        assert err.required_bytes == 100
+        assert err.budget_bytes == 10
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.SingularSystemError("singular")
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.NetlistParseError("parse")

@@ -1,0 +1,59 @@
+"""Unit tests for repro.mor.rational (multipoint PRIMA)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.mor import multipoint_prima_reduce, prima_reduce
+from repro.validation import count_matched_moments, max_relative_error
+
+
+class TestMultipointPrima:
+    def test_single_point_equivalent_to_prima(self, rc_grid_system):
+        omegas = np.logspace(5, 9, 5)
+        mp_rom, _, _ = multipoint_prima_reduce(rc_grid_system, 3, [0.0])
+        prima_rom, _, _ = prima_reduce(rc_grid_system, 3)
+        err_mp = max_relative_error(rc_grid_system, mp_rom, omegas)
+        err_prima = max_relative_error(rc_grid_system, prima_rom, omegas)
+        assert err_mp < 1e-6
+        assert err_prima < 1e-6
+
+    def test_matches_moments_at_each_point(self, rc_grid_system):
+        points = [0.0, 1e9]
+        rom, _, _ = multipoint_prima_reduce(rc_grid_system, 2, points)
+        for point in points:
+            assert count_matched_moments(rc_grid_system, rom, 2,
+                                         s0=point) >= 2
+
+    def test_complex_points_give_real_rom(self, rc_grid_system):
+        rom, _, _ = multipoint_prima_reduce(rc_grid_system, 2,
+                                            [0.0, 1j * 1e8])
+        assert np.isrealobj(rom.C)
+        assert np.isrealobj(rom.G)
+
+    def test_wideband_accuracy_improves(self, rc_grid_system):
+        # Adding a high-frequency expansion point must not hurt, and should
+        # improve the worst-case error high in the band.
+        omegas = np.logspace(8, 11, 6)
+        single, _, _ = multipoint_prima_reduce(rc_grid_system, 2, [0.0])
+        double, _, _ = multipoint_prima_reduce(rc_grid_system, 2,
+                                               [0.0, 1j * 1e10])
+        err_single = max_relative_error(rc_grid_system, single, omegas)
+        err_double = max_relative_error(rc_grid_system, double, omegas)
+        # "not worse", with a floor because both can sit at machine precision
+        assert err_double <= max(err_single * 1.5, 1e-10)
+
+    def test_rom_size_bounded_by_points_times_ml(self, rc_grid_system):
+        rom, _, _ = multipoint_prima_reduce(rc_grid_system, 2, [0.0, 1e9])
+        assert rom.size <= 2 * 2 * rc_grid_system.n_ports
+
+    def test_expansion_points_recorded(self, rc_grid_system):
+        points = [0.0, 1e8]
+        rom, _, _ = multipoint_prima_reduce(rc_grid_system, 2, points)
+        assert rom.expansion_points == points
+
+    def test_invalid_arguments(self, rc_grid_system):
+        with pytest.raises(ReductionError):
+            multipoint_prima_reduce(rc_grid_system, 2, [])
+        with pytest.raises(ReductionError):
+            multipoint_prima_reduce(rc_grid_system, 0, [0.0])

@@ -1,0 +1,72 @@
+"""Unit tests for repro.analysis.solvers (iterative DC solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.solvers import (
+    ilu_preconditioner,
+    jacobi_preconditioner,
+    solve_dc_iterative,
+)
+from repro.exceptions import SimulationError
+from repro.linalg.krylov import ShiftedOperator
+
+
+class TestPreconditioners:
+    def test_jacobi_inverts_diagonal(self, rc_grid_system):
+        A = -rc_grid_system.G
+        M = jacobi_preconditioner(A)
+        v = np.ones(A.shape[0])
+        assert np.allclose(M @ v, 1.0 / A.diagonal())
+
+    def test_jacobi_rejects_zero_diagonal(self):
+        import scipy.sparse as sp
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SimulationError):
+            jacobi_preconditioner(A)
+
+    def test_ilu_approximates_inverse(self, rc_grid_system):
+        A = -rc_grid_system.G
+        M = ilu_preconditioner(A, drop_tol=0.0)
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=A.shape[0])
+        x = M @ b
+        assert np.allclose(A @ x, b, rtol=1e-6, atol=1e-9)
+
+
+class TestSolveDcIterative:
+    @pytest.mark.parametrize("preconditioner", ["jacobi", "ilu", "none"])
+    def test_matches_direct_solve(self, rc_grid_system, preconditioner):
+        loads = np.linspace(1e-3, 2e-3, rc_grid_system.n_ports)
+        rhs = np.asarray(rc_grid_system.B @ loads).reshape(-1)
+        direct = ShiftedOperator(rc_grid_system.C, rc_grid_system.G,
+                                 s0=0.0).solve(rhs)
+        result = solve_dc_iterative(rc_grid_system, rhs,
+                                    preconditioner=preconditioner)
+        assert result.converged
+        assert result.residual_norm < 1e-8
+        assert np.allclose(result.x, direct, rtol=1e-6, atol=1e-12)
+
+    def test_symmetric_grid_uses_cg(self, rc_grid_system):
+        rhs = np.asarray(rc_grid_system.B @ np.ones(
+            rc_grid_system.n_ports)).reshape(-1)
+        result = solve_dc_iterative(rc_grid_system, rhs)
+        assert result.method == "cg"
+        assert result.iterations > 0
+
+    def test_rlc_grid_uses_gmres(self, rlc_grid_system):
+        rhs = np.asarray(rlc_grid_system.B @ np.ones(
+            rlc_grid_system.n_ports)).reshape(-1)
+        result = solve_dc_iterative(rlc_grid_system, rhs,
+                                    preconditioner="ilu")
+        assert result.method == "gmres"
+        assert result.residual_norm < 1e-8
+
+    def test_wrong_rhs_length(self, rc_grid_system):
+        with pytest.raises(SimulationError):
+            solve_dc_iterative(rc_grid_system, np.ones(3))
+
+    def test_unknown_preconditioner(self, rc_grid_system):
+        rhs = np.zeros(rc_grid_system.size)
+        with pytest.raises(SimulationError):
+            solve_dc_iterative(rc_grid_system, rhs, preconditioner="magic")

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.splitting (input-matrix splitting, Eq. 6-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitting import (
+    parallel_composition,
+    split_input_matrix,
+    split_system,
+)
+from repro.exceptions import ReductionError
+
+
+class TestSplitInputMatrix:
+    def test_only_selected_column_kept(self, rc_grid_system):
+        B = rc_grid_system.B
+        B1 = split_input_matrix(B, 1)
+        assert B1.shape == B.shape
+        dense = B1.toarray()
+        assert np.allclose(dense[:, 1], B.toarray()[:, 1])
+        dense[:, 1] = 0.0
+        assert np.count_nonzero(dense) == 0
+
+    def test_sum_of_splits_recovers_b(self, rc_grid_system):
+        B = rc_grid_system.B
+        total = sum(split_input_matrix(B, i).toarray()
+                    for i in range(B.shape[1]))
+        assert np.allclose(total, B.toarray())
+
+    def test_out_of_range_column(self, rc_grid_system):
+        with pytest.raises(ReductionError):
+            split_input_matrix(rc_grid_system.B, rc_grid_system.n_ports)
+
+
+class TestSplitSystem:
+    def test_transfer_matrix_is_single_column(self, rc_grid_system):
+        s = 1j * 1e8
+        H = rc_grid_system.transfer_function(s)
+        for i in (0, 2):
+            sub = split_system(rc_grid_system, i)
+            H_i = sub.transfer_function(s)
+            assert np.allclose(H_i[:, i], H[:, i])
+            mask = np.ones(H.shape[1], dtype=bool)
+            mask[i] = False
+            assert np.allclose(H_i[:, mask], 0.0)
+
+    def test_transfer_sum_identity(self, rc_grid_system):
+        # Eq. (7): H(s) = sum_i H_i(s).
+        s = 1j * 1e7
+        H = rc_grid_system.transfer_function(s)
+        total = np.zeros_like(H)
+        for i in range(rc_grid_system.n_ports):
+            total += split_system(rc_grid_system, i).transfer_function(s)
+        assert np.allclose(total, H)
+
+    def test_shares_matrices(self, rc_grid_system):
+        sub = split_system(rc_grid_system, 0)
+        assert sub.C is rc_grid_system.C
+        assert sub.G is rc_grid_system.G
+
+
+class TestParallelComposition:
+    def test_size_and_transfer_equivalence(self, rc_ladder_system):
+        big = parallel_composition(rc_ladder_system)
+        m = rc_ladder_system.n_ports
+        assert big.size == m * rc_ladder_system.size
+        s = 1j * 1e6
+        assert np.allclose(big.transfer_function(s),
+                           rc_ladder_system.transfer_function(s))
+
+    def test_equivalence_on_multiport_grid(self, rc_grid_system):
+        big = parallel_composition(rc_grid_system)
+        s = 1j * 1e8
+        assert np.allclose(big.transfer_function(s),
+                           rc_grid_system.transfer_function(s))
+
+    def test_refuses_too_many_ports(self, rc_grid_system):
+        with pytest.raises(ReductionError):
+            parallel_composition(rc_grid_system, max_ports=2)

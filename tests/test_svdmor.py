@@ -1,0 +1,77 @@
+"""Unit tests for repro.mor.svdmor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReductionError, ResourceBudgetExceeded
+from repro.mor import ResourceBudget, prima_reduce, svdmor_reduce
+from repro.mor.svdmor import terminal_compression_basis
+from repro.validation import count_matched_moments, max_relative_error
+
+
+class TestTerminalCompression:
+    def test_basis_shapes_and_orthonormality(self, rc_grid_system):
+        U_l, U_r = terminal_compression_basis(rc_grid_system, alpha=0.5)
+        p, m = rc_grid_system.n_outputs, rc_grid_system.n_ports
+        assert U_l.shape == (p, max(1, round(0.5 * p)))
+        assert U_r.shape == (m, max(1, round(0.5 * m)))
+        assert np.allclose(U_l.T @ U_l, np.eye(U_l.shape[1]), atol=1e-10)
+        assert np.allclose(U_r.T @ U_r, np.eye(U_r.shape[1]), atol=1e-10)
+
+    def test_alpha_one_keeps_all_terminals(self, rc_grid_system):
+        U_l, U_r = terminal_compression_basis(rc_grid_system, alpha=1.0)
+        assert U_r.shape[1] == rc_grid_system.n_ports
+
+    def test_invalid_alpha(self, rc_grid_system):
+        with pytest.raises(ReductionError):
+            terminal_compression_basis(rc_grid_system, alpha=0.0)
+        with pytest.raises(ReductionError):
+            terminal_compression_basis(rc_grid_system, alpha=1.5)
+
+
+class TestSvdmorReduce:
+    def test_rom_size_is_alpha_m_l(self, rc_grid_system):
+        alpha, l = 0.6, 3
+        rom, _, _ = svdmor_reduce(rc_grid_system, l, alpha=alpha)
+        mhat = max(1, round(alpha * rc_grid_system.n_ports))
+        assert rom.size == mhat * l
+
+    def test_terminal_space_restored(self, rc_grid_system):
+        rom, _, _ = svdmor_reduce(rc_grid_system, 3, alpha=0.6)
+        H = rom.transfer_function(1j * 1e8)
+        assert H.shape == (rc_grid_system.n_outputs,
+                           rc_grid_system.n_ports)
+
+    def test_less_accurate_than_prima(self, rc_grid_system):
+        # Terminal reduction is error-prone (the paper's Fig. 5b): with a
+        # compression ratio < 1 the error is orders above PRIMA's.
+        omegas = np.logspace(5, 9, 5)
+        prima_rom, _, _ = prima_reduce(rc_grid_system, 3)
+        svd_rom, _, _ = svdmor_reduce(rc_grid_system, 3, alpha=0.5)
+        err_prima = max_relative_error(rc_grid_system, prima_rom, omegas)
+        err_svd = max_relative_error(rc_grid_system, svd_rom, omegas)
+        assert err_svd > 10 * err_prima
+
+    def test_does_not_match_true_moments(self, rc_grid_system):
+        rom, _, _ = svdmor_reduce(rc_grid_system, 3, alpha=0.5)
+        assert count_matched_moments(rc_grid_system, rom, 3) == 0
+
+    def test_alpha_one_recovers_prima_accuracy(self, rc_grid_system):
+        omegas = np.logspace(5, 9, 5)
+        rom, _, _ = svdmor_reduce(rc_grid_system, 3, alpha=1.0)
+        assert max_relative_error(rc_grid_system, rom, omegas) < 1e-6
+
+    def test_budget_guard(self, rc_grid_system):
+        budget = ResourceBudget(max_dense_bytes=512)
+        with pytest.raises(ResourceBudgetExceeded):
+            svdmor_reduce(rc_grid_system, 3, budget=budget)
+
+    def test_invalid_moments(self, rc_grid_system):
+        with pytest.raises(ReductionError):
+            svdmor_reduce(rc_grid_system, 0)
+
+    def test_records_terminal_bases(self, rc_grid_system):
+        rom, _, _ = svdmor_reduce(rc_grid_system, 2, alpha=0.6)
+        U_l, U_r = rom.terminal_bases
+        assert U_l.shape[0] == rc_grid_system.n_outputs
+        assert U_r.shape[0] == rc_grid_system.n_ports
