@@ -1,0 +1,13 @@
+"""Root pytest configuration.
+
+Registers the flag used by the golden-regression harness in
+``tests/golden/``; it must live in the rootdir conftest so it is available
+no matter which test subset is run.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/data/*.json from the reference backend "
+             "instead of checking against the stored values")

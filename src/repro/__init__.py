@@ -54,8 +54,17 @@ from repro.exceptions import (
     ResourceBudgetExceeded,
     SimulationError,
     SingularSystemError,
+    SolverBackendError,
     StampingError,
     ValidationError,
+)
+from repro.linalg import (
+    FactorizationCache,
+    SolverOptions,
+    available_backends,
+    clear_default_cache,
+    default_cache,
+    get_solver,
 )
 from repro.mor import (
     ReducedSystem,
@@ -87,6 +96,7 @@ __all__ = [
     "BlockDiagonalROM",
     "CircuitError",
     "DescriptorSystem",
+    "FactorizationCache",
     "FrequencyAnalysis",
     "FrequencySweepResult",
     "IRDropResult",
@@ -102,18 +112,24 @@ __all__ = [
     "ResourceBudgetExceeded",
     "SimulationError",
     "SingularSystemError",
+    "SolverBackendError",
+    "SolverOptions",
     "SourceBank",
     "StampingError",
     "TransientAnalysis",
     "TransientResult",
     "ValidationError",
     "assemble_mna",
+    "available_backends",
     "bdsm_reduce",
     "benchmark_names",
     "build_power_grid",
+    "clear_default_cache",
     "count_matched_moments",
+    "default_cache",
     "eks_reduce",
     "enforce_passivity",
+    "get_solver",
     "hamiltonian_passivity_test",
     "ir_drop_analysis",
     "laguerre_passivity_scan",

@@ -12,14 +12,24 @@ automatically when present (duck-typed through ``transfer_function``).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator
 
 __all__ = ["FrequencyAnalysis", "FrequencySweepResult"]
+
+
+def _accepts_solver(fn) -> bool:
+    """Whether ``fn`` takes a ``solver`` keyword (signature probed once)."""
+    try:
+        return "solver" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
 
 
 @dataclass
@@ -94,11 +104,22 @@ class FrequencyAnalysis:
         Sweep band in rad/s (log-spaced).
     n_points:
         Number of frequency samples.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        per-frequency pencil solves on systems without their own
+        ``transfer_function``.  When left ``None``, per-frequency factors
+        are NOT cached: a default sweep touches ``n_points`` distinct
+        pencils, which would thrash the shared LRU cache and evict factors
+        other analyses still need.  To reuse factorisations across repeated
+        sweeps of the same grid, pass options with caching enabled and give
+        the process cache room for them, e.g. ``set_default_cache(
+        FactorizationCache(capacity=2 * n_points))``.
     """
 
     omega_min: float = 1e5
     omega_max: float = 1e12
     n_points: int = 60
+    solver: SolverOptions | None = None
     _omegas: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -142,7 +163,8 @@ class FrequencyAnalysis:
         for k, omega in enumerate(self._omegas):
             s = 1j * omega
             if hasattr(system, "transfer_entry"):
-                values[k] = system.transfer_entry(s, output, port)
+                values[k] = self._call_transfer(
+                    system.transfer_entry, s, output, port)
             else:
                 values[k] = self._evaluate(system, s)[output, port]
         return FrequencySweepResult(
@@ -177,11 +199,26 @@ class FrequencyAnalysis:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _evaluate(system, s: complex) -> np.ndarray:
+    def _call_transfer(self, fn, *args):
+        """Invoke a system's own transfer evaluator, forwarding the solver.
+
+        Full MNA systems accept ``solver=`` (and default to uncached
+        per-frequency factors); ROM classes evaluate densely and take no
+        such knob.  The signature is inspected rather than catching
+        ``TypeError`` so a genuine evaluator bug is never masked or
+        re-executed.
+        """
+        if self.solver is not None and _accepts_solver(fn):
+            return fn(*args, solver=self.solver)
+        return fn(*args)
+
+    def _evaluate(self, system, s: complex) -> np.ndarray:
         if hasattr(system, "transfer_function"):
-            return np.asarray(system.transfer_function(s))
-        op = ShiftedOperator(system.C, system.G, s0=s)
+            return np.asarray(self._call_transfer(system.transfer_function, s))
+        solver = self.solver
+        if solver is None:
+            solver = SolverOptions(use_cache=False)
+        op = ShiftedOperator(system.C, system.G, s0=s, solver=solver)
         B = system.B.toarray() if hasattr(system.B, "toarray") else system.B
         X = op.solve(B)
         L = system.L

@@ -21,6 +21,7 @@ import numpy as np
 from repro.analysis.sources import SourceBank
 from repro.analysis.transient import TransientAnalysis
 from repro.exceptions import SimulationError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator
 
 __all__ = ["IRDropResult", "ir_drop_analysis", "dynamic_ir_drop"]
@@ -71,7 +72,8 @@ class IRDropResult:
 
 
 def ir_drop_analysis(system, load_currents: np.ndarray, *,
-                     reference_voltage: float = 1.0) -> IRDropResult:
+                     reference_voltage: float = 1.0,
+                     solver: SolverOptions | None = None) -> IRDropResult:
     """Static IR-drop: solve ``-G x = B i_load`` and read the observed nodes.
 
     Parameters
@@ -83,13 +85,17 @@ def ir_drop_analysis(system, load_currents: np.ndarray, *,
         Length-``m`` vector of DC currents drawn at each port.
     reference_voltage:
         Ideal supply voltage used for percentage reporting.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the DC
+        solve (an analysis right after a reduction at ``s0 = 0`` reuses the
+        cached pencil factorisation).
     """
     loads = np.asarray(load_currents, dtype=float).reshape(-1)
     m = system.B.shape[1]
     if loads.shape[0] != m:
         raise SimulationError(
             f"expected {m} load currents, got {loads.shape[0]}")
-    op = ShiftedOperator(system.C, system.G, s0=0.0)
+    op = ShiftedOperator(system.C, system.G, s0=0.0, solver=solver)
     rhs = system.B @ loads
     rhs = np.asarray(rhs).reshape(-1)
     x = np.asarray(op.solve(rhs)).reshape(-1)
@@ -101,7 +107,8 @@ def ir_drop_analysis(system, load_currents: np.ndarray, *,
 
 def dynamic_ir_drop(system, sources: SourceBank, *, t_stop: float, dt: float,
                     reference_voltage: float = 1.0,
-                    method: str = "backward_euler") -> IRDropResult:
+                    method: str = "backward_euler",
+                    solver: SolverOptions | None = None) -> IRDropResult:
     """Worst-case dynamic IR drop over a transient run.
 
     Runs a transient simulation and reports, per observed node, the largest
@@ -109,7 +116,8 @@ def dynamic_ir_drop(system, sources: SourceBank, *, t_stop: float, dt: float,
     descriptor interface, swapping the full model for a BDSM ROM changes
     nothing except the runtime.
     """
-    transient = TransientAnalysis(t_stop=t_stop, dt=dt, method=method)
+    transient = TransientAnalysis(t_stop=t_stop, dt=dt, method=method,
+                                  solver=solver)
     result = transient.run(system, sources)
     worst_deviation = result.outputs.min(axis=1)
     names = list(getattr(system, "output_names", []) or [])

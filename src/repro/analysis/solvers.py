@@ -53,13 +53,19 @@ class IterativeSolveResult:
 
 
 def jacobi_preconditioner(matrix) -> spla.LinearOperator:
-    """Diagonal (Jacobi) preconditioner ``M^{-1} ~ diag(A)^{-1}``."""
+    """Diagonal (Jacobi) preconditioner ``M^{-1} ~ diag(A)^{-1}``.
+
+    Zero or non-finite diagonal entries — a node with no conductance to
+    ground (cap-only or inductor-branch rows in an RLC grid), or an empty
+    matrix — are passed through with unit scale instead of raising, so the
+    preconditioner stays well defined on any grid the iterative solvers can
+    handle.
+    """
     A = to_csr(matrix)
-    diag = A.diagonal()
-    if np.any(diag == 0.0):
-        raise SimulationError(
-            "Jacobi preconditioner needs a non-zero diagonal")
-    inv_diag = 1.0 / diag
+    diag = np.asarray(A.diagonal())
+    inv_diag = np.ones_like(diag)
+    usable = np.isfinite(diag) & (diag != 0.0)
+    inv_diag[usable] = 1.0 / diag[usable]
     return spla.LinearOperator(A.shape, matvec=lambda v: inv_diag * v)
 
 

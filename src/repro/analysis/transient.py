@@ -12,8 +12,11 @@ much cheaper to simulate than a dense one — the claim quantified in the
 paper's Sec. III-B (``O(m l^3)`` vs ``O(m^3 l^3)`` per factorisation).
 
 The integrator is format-agnostic: it works on the full sparse MNA system,
-on dense reduced systems and on block-diagonal ROMs, always going through
-scipy sparse LU so the ROM structure actually pays off in runtime.
+on dense reduced systems and on block-diagonal ROMs.  Each solve routes
+through the :mod:`repro.linalg.backends` registry, so the pencil is handled
+by whatever backend fits it (sparse LU, Cholesky-style for SPD RC pencils,
+dense LAPACK for small ROMs) and re-simulations reuse the cached
+factorisation.
 """
 
 from __future__ import annotations
@@ -25,7 +28,8 @@ import scipy.sparse as sp
 
 from repro.analysis.sources import SourceBank
 from repro.exceptions import SimulationError
-from repro.linalg.sparse_utils import splu_factor, to_csc, to_csr
+from repro.linalg.backends import SolverOptions, get_solver
+from repro.linalg.sparse_utils import to_csc, to_csr
 
 __all__ = ["TransientAnalysis", "TransientResult"]
 
@@ -97,12 +101,19 @@ class TransientAnalysis:
         (second-order accurate).
     store_states:
         Keep the full state trajectory in the result.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        stepping pencil ``(C/h - G)``.  With caching enabled (the default)
+        a re-simulation of the same system with the same step size reuses
+        the pencil factorisation from the process-wide cache — this is what
+        makes repeated what-if transient runs cheap.
     """
 
     t_stop: float
     dt: float
     method: str = "backward_euler"
     store_states: bool = False
+    solver: SolverOptions | None = None
 
     _METHODS = ("backward_euler", "trapezoidal")
 
@@ -169,7 +180,7 @@ class TransientAnalysis:
         h = self.dt
         if self.method == "backward_euler":
             lhs = to_csc(C.multiply(1.0 / h) - G)
-            factor = splu_factor(lhs)
+            factor = get_solver(lhs, options=self.solver)
             u_next = sources(float(times[0]))
             for k in range(1, times.shape[0]):
                 u_next = sources(float(times[k]))
@@ -182,7 +193,7 @@ class TransientAnalysis:
         else:  # trapezoidal
             lhs = to_csc(C.multiply(2.0 / h) - G)
             rhs_mat = to_csr(C.multiply(2.0 / h) + G)
-            factor = splu_factor(lhs)
+            factor = get_solver(lhs, options=self.solver)
             u_prev = sources(float(times[0]))
             for k in range(1, times.shape[0]):
                 u_next = sources(float(times[k]))

@@ -30,8 +30,12 @@ import scipy.sparse as sp
 from repro.circuit.elements import GROUND
 from repro.circuit.netlist import Netlist
 from repro.exceptions import StampingError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator
 from repro.linalg.sparse_utils import sparsity_info, to_csr
+
+#: Per-frequency pencils are throwaway; keep them out of the shared cache.
+_UNCACHED_SOLVER = SolverOptions(use_cache=False)
 
 __all__ = ["DescriptorSystem", "assemble_mna"]
 
@@ -135,19 +139,30 @@ class DescriptorSystem:
     # ------------------------------------------------------------------ #
     # Frequency-domain evaluation
     # ------------------------------------------------------------------ #
-    def transfer_function(self, s: complex) -> np.ndarray:
-        """Evaluate the ``p x m`` transfer matrix ``H(s) = L (sC - G)^{-1} B``."""
-        op = ShiftedOperator(self.C, self.G, s0=s)
+    def transfer_function(self, s: complex, *,
+                          solver=None) -> np.ndarray:
+        """Evaluate the ``p x m`` transfer matrix ``H(s) = L (sC - G)^{-1} B``.
+
+        ``solver`` takes optional
+        :class:`~repro.linalg.backends.SolverOptions`; by default the
+        per-``s`` pencil factor is not cached (a frequency sweep touches one
+        pencil per sample, which would evict longer-lived factors from the
+        shared cache).
+        """
+        op = ShiftedOperator(self.C, self.G, s0=s,
+                             solver=solver or _UNCACHED_SOLVER)
         X = op.solve(self.B.toarray())
         return np.asarray(self.L @ X)
 
-    def transfer_entry(self, s: complex, output: int, port: int) -> complex:
+    def transfer_entry(self, s: complex, output: int, port: int, *,
+                       solver=None) -> complex:
         """Evaluate a single transfer-matrix entry ``H(s)[output, port]``.
 
         Cheaper than :meth:`transfer_function` when only one column is
         needed (e.g. the port-(1,2) curve of Fig. 5).
         """
-        op = ShiftedOperator(self.C, self.G, s0=s)
+        op = ShiftedOperator(self.C, self.G, s0=s,
+                             solver=solver or _UNCACHED_SOLVER)
         b_col = np.asarray(self.B[:, port].todense()).reshape(-1)
         x = op.solve(b_col)
         row = np.asarray(self.L[output, :].todense()).reshape(-1)

@@ -15,7 +15,10 @@ script:
     for one transfer-matrix entry.
 
 All commands accept ``--scale smoke|laptop|paper`` (default ``smoke`` so the
-CLI responds in seconds).
+CLI responds in seconds).  ``reduce`` and ``sweep`` additionally accept
+``--solver`` (a backend name from :mod:`repro.linalg.backends`, ``auto`` by
+default) and ``--no-solver-cache`` to disable factorization reuse; a cache
+hit/miss summary is printed after each run.
 """
 
 from __future__ import annotations
@@ -27,7 +30,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro import (
+    BDSMOptions,
     FrequencyAnalysis,
+    ReproError,
+    SolverOptions,
     bdsm_reduce,
     eks_reduce,
     make_benchmark,
@@ -37,15 +43,33 @@ from repro import (
 )
 from repro.circuit.benchmarks import BENCHMARKS, SCALES
 from repro.io import format_table
+from repro.linalg import available_backends, default_cache
 
 __all__ = ["main", "build_parser"]
 
 _REDUCERS = {
-    "bdsm": lambda system, l: bdsm_reduce(system, l),
-    "prima": lambda system, l: prima_reduce(system, l),
-    "svdmor": lambda system, l: svdmor_reduce(system, l, alpha=0.6),
-    "eks": lambda system, l: eks_reduce(system, l),
+    "bdsm": lambda system, l, solver: bdsm_reduce(
+        system, l, options=BDSMOptions(solver=solver)),
+    "prima": lambda system, l, solver: prima_reduce(system, l, solver=solver),
+    "svdmor": lambda system, l, solver: svdmor_reduce(system, l, alpha=0.6,
+                                                      solver=solver),
+    "eks": lambda system, l, solver: eks_reduce(system, l, solver=solver),
 }
+
+#: Choices of the ``--solver`` flag (registry backends plus the selectors).
+_SOLVER_CHOICES = ("auto", "iterative", *available_backends())
+
+
+def _solver_options(args: argparse.Namespace) -> SolverOptions:
+    """Build :class:`SolverOptions` from the common CLI flags."""
+    return SolverOptions(backend=args.solver,
+                         use_cache=not args.no_solver_cache)
+
+
+def _print_cache_summary() -> None:
+    stats = default_cache().stats()
+    print(f"solver cache: hits={stats.hits} misses={stats.misses} "
+          f"evictions={stats.evictions} hit_rate={stats.hit_rate:.0%}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=sorted(_REDUCERS))
     reduce_cmd.add_argument("--moments", type=int, default=6)
     reduce_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+    reduce_cmd.add_argument("--solver", default="auto",
+                            choices=_SOLVER_CHOICES,
+                            help="linear-solver backend for pencil solves")
+    reduce_cmd.add_argument("--no-solver-cache", action="store_true",
+                            help="disable the factorization cache")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="frequency sweep of one transfer-matrix entry")
@@ -78,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--port", type=int, default=2,
                            help="1-based input port index (paper style)")
     sweep_cmd.add_argument("--points", type=int, default=9)
+    sweep_cmd.add_argument("--solver", default="auto",
+                           choices=_SOLVER_CHOICES,
+                           help="linear-solver backend for pencil solves")
+    sweep_cmd.add_argument("--no-solver-cache", action="store_true",
+                           help="disable the factorization cache")
     return parser
 
 
@@ -99,13 +133,15 @@ def _cmd_benchmarks() -> int:
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
     system = make_benchmark(args.benchmark, scale=args.scale)
-    rom, stats, seconds = _REDUCERS[args.method](system, args.moments)
+    solver = _solver_options(args)
+    rom, stats, seconds = _REDUCERS[args.method](system, args.moments, solver)
     omegas = np.logspace(5, 9, 5)
     row = {
         "benchmark": system.name,
         "nodes": system.size,
         "ports": system.n_ports,
         "method": args.method.upper(),
+        "solver": solver.backend,
         "MOR time (s)": round(seconds, 4),
         "ROM size": rom.size,
         "ROM nnz": rom.nnz,
@@ -115,6 +151,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         "reusable": "yes" if rom.reusable else "no",
     }
     print(format_table([row], title="reduction summary"))
+    _print_cache_summary()
     return 0
 
 
@@ -129,10 +166,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{system.n_ports} ports", file=sys.stderr)
         return 2
     output, port = args.output - 1, args.port - 1
-    bdsm_rom, _, _ = bdsm_reduce(system, args.moments)
-    prima_rom, _, _ = prima_reduce(system, args.moments)
+    solver = _solver_options(args)
+    bdsm_rom, _, _ = bdsm_reduce(system, args.moments,
+                                 options=BDSMOptions(solver=solver))
+    prima_rom, _, _ = prima_reduce(system, args.moments, solver=solver)
     analysis = FrequencyAnalysis(omega_min=1e5, omega_max=1e12,
-                                 n_points=args.points)
+                                 n_points=args.points, solver=solver)
     report = analysis.compare(system, {"BDSM": bdsm_rom, "PRIMA": prima_rom},
                               output=output, port=port)
     rows = []
@@ -146,6 +185,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(
         rows, title=f"H[{args.output},{args.port}] of {system.name} "
                     f"(l={args.moments})"))
+    _print_cache_summary()
     return 0
 
 
@@ -153,12 +193,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "benchmarks":
-        return _cmd_benchmarks()
-    if args.command == "reduce":
-        return _cmd_reduce(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
+    try:
+        if args.command == "benchmarks":
+            return _cmd_benchmarks()
+        if args.command == "reduce":
+            return _cmd_reduce(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -37,6 +37,7 @@ import scipy.sparse as sp
 
 from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
 from repro.exceptions import ReductionError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
 from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
@@ -65,12 +66,19 @@ class BDSMOptions:
         Number of worker threads processing port chunks concurrently.
         ``1`` (default) is sequential; values above 1 only make sense
         together with ``port_chunk_size`` so there is more than one chunk.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        shifted-pencil solves (backend choice, caching, iterative
+        parameters).  With caching on, repeated reductions of the same grid
+        at the same ``s0`` — and analyses at the same shift — reuse the
+        pencil factorisation.
     """
 
     port_chunk_size: int | None = None
     keep_projection: bool = False
     deflation_tol: float = 1e-12
     n_workers: int = 1
+    solver: SolverOptions | None = None
 
 
 def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
@@ -123,7 +131,7 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
                        what="BDSM chunked projection bases")
 
     start = time.perf_counter()
-    operator = ShiftedOperator(C, G, s0=s0)
+    operator = ShiftedOperator(C, G, s0=s0, solver=opts.solver)
     stats = OrthoStats()
 
     def process_chunk(chunk_columns: list[int],

@@ -75,7 +75,8 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
 
     start = time.perf_counter()
     stats = OrthoStats()
-    operators = [ShiftedOperator(C, G, s0=point) for point in points]
+    operators = [ShiftedOperator(C, G, s0=point, solver=opts.solver)
+                 for point in points]
 
     blocks: list[ROMBlock] = []
     for chunk_start in range(0, m, chunk):

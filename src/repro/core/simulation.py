@@ -20,19 +20,20 @@ for a dense ROM.
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg
 
 from repro.analysis.sources import SourceBank
 from repro.analysis.transient import TransientResult
 from repro.core.structured_rom import BlockDiagonalROM
 from repro.exceptions import SimulationError
+from repro.linalg.backends import SolverOptions, get_solver
 
 __all__ = ["simulate_blockwise"]
 
 
 def simulate_blockwise(rom: BlockDiagonalROM, sources: SourceBank, *,
                        t_stop: float, dt: float,
-                       method: str = "backward_euler") -> TransientResult:
+                       method: str = "backward_euler",
+                       solver: SolverOptions | None = None) -> TransientResult:
     """Fixed-step transient simulation of a BDSM ROM, block by block.
 
     Parameters
@@ -45,6 +46,17 @@ def simulate_blockwise(rom: BlockDiagonalROM, sources: SourceBank, *,
         Simulation horizon and fixed step size.
     method:
         ``"backward_euler"`` or ``"trapezoidal"``.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions`; the tiny
+        ``l x l`` stepping pencils auto-select the dense LAPACK backend.
+        By default the per-block factors are NOT cached: a realistic ROM
+        has more blocks (one per port, up to 1429 in the paper's grids)
+        than the shared LRU cache has slots, so caching them would thrash
+        the cache and evict expensive full-grid factors while hitting
+        nothing on re-simulation.  To make re-simulation skip the
+        ``O(m l^3)`` setup, pass options with caching enabled *and* size
+        the cache to at least the block count, e.g.
+        ``set_default_cache(FactorizationCache(capacity=2 * rom.n_blocks))``.
 
     Returns
     -------
@@ -70,6 +82,8 @@ def simulate_blockwise(rom: BlockDiagonalROM, sources: SourceBank, *,
     outputs = np.zeros((rom.n_outputs, n_steps))
 
     # Pre-factorise every block once (the O(m l^3) setup).
+    if solver is None:
+        solver = SolverOptions(use_cache=False)
     factorisations = []
     for block in rom.blocks:
         if method == "backward_euler":
@@ -78,8 +92,7 @@ def simulate_blockwise(rom: BlockDiagonalROM, sources: SourceBank, *,
         else:
             lhs = 2.0 * block.C / dt - block.G
             rhs_mat = 2.0 * block.C / dt + block.G
-        lu, piv = scipy.linalg.lu_factor(lhs)
-        factorisations.append((lu, piv, rhs_mat))
+        factorisations.append((get_solver(lhs, options=solver), rhs_mat))
 
     states = [np.zeros(block.order) for block in rom.blocks]
     u_prev = sources(float(times[0]))
@@ -87,13 +100,13 @@ def simulate_blockwise(rom: BlockDiagonalROM, sources: SourceBank, *,
         u_next = sources(float(times[k]))
         accumulated = np.zeros(rom.n_outputs)
         for idx, block in enumerate(rom.blocks):
-            lu, piv, rhs_mat = factorisations[idx]
+            block_solver, rhs_mat = factorisations[idx]
             if method == "backward_euler":
                 rhs = rhs_mat @ states[idx] + block.b * u_next[block.index]
             else:
                 rhs = rhs_mat @ states[idx] + block.b * (
                     u_prev[block.index] + u_next[block.index])
-            states[idx] = scipy.linalg.lu_solve((lu, piv), rhs)
+            states[idx] = block_solver.solve(rhs)
             accumulated += block.L @ states[idx]
         outputs[:, k] = accumulated
         u_prev = u_next

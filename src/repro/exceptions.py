@@ -51,6 +51,15 @@ class SimulationError(ReproError):
     """Raised when a frequency- or time-domain simulation fails."""
 
 
+class SolverBackendError(ReproError):
+    """Raised by the linear-solver backend subsystem.
+
+    Covers requests for unknown backends, backends applied to matrices they
+    cannot handle (e.g. Cholesky on an unsymmetric pencil), and iterative
+    solves that fail to reach the requested tolerance.
+    """
+
+
 class PassivityError(ReproError):
     """Raised by passivity verification / enforcement routines."""
 

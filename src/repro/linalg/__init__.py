@@ -5,6 +5,10 @@ they operate on plain numpy arrays and scipy sparse matrices.
 
 Contents
 --------
+``backends``
+    Pluggable linear-solver backends (sparse LU, SPD Cholesky-style, dense
+    LAPACK, preconditioned CG/GMRES) behind a registry with per-matrix
+    auto-selection, plus the LRU factorization cache every hot path shares.
 ``orthogonalization``
     Modified Gram-Schmidt with re-orthogonalisation and deflation detection,
     plus an operation counter used by the cost model.
@@ -19,6 +23,21 @@ Contents
     Transfer-matrix moment computation for moment-matching verification.
 """
 
+from repro.linalg.backends import (
+    CacheStats,
+    FactorizationCache,
+    LinearSolver,
+    SolverOptions,
+    available_backends,
+    clear_default_cache,
+    default_cache,
+    get_solver,
+    matrix_fingerprint,
+    select_backend,
+    set_default_cache,
+    solve,
+    temporary_default_cache,
+)
 from repro.linalg.blockdiag import (
     BlockLayout,
     block_diag_sparse,
@@ -49,22 +68,35 @@ from repro.linalg.sparse_utils import (
 
 __all__ = [
     "BlockLayout",
+    "CacheStats",
+    "FactorizationCache",
     "KrylovResult",
+    "LinearSolver",
     "OrthoStats",
     "ShiftedOperator",
+    "SolverOptions",
     "SparsityInfo",
+    "available_backends",
     "block_diag_sparse",
     "block_krylov_basis",
     "block_view",
     "blocks_from_matrix",
+    "clear_default_cache",
     "column_clustered_krylov_bases",
+    "default_cache",
+    "get_solver",
     "is_symmetric",
+    "matrix_fingerprint",
     "modified_gram_schmidt",
     "nnz_density",
     "orthonormalize_against",
+    "select_backend",
+    "set_default_cache",
+    "solve",
     "sparsity_info",
     "splu_factor",
     "system_moments",
+    "temporary_default_cache",
     "to_csc",
     "to_csr",
     "transfer_moments",

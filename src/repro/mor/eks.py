@@ -28,6 +28,7 @@ import time
 import numpy as np
 
 from repro.exceptions import ReductionError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
@@ -42,7 +43,8 @@ def eks_reduce(system, n_moments: int, *,
                s0: complex = 0.0,
                budget: ResourceBudget | None = None,
                keep_projection: bool = False,
-               deflation_tol: float = 1e-12):
+               deflation_tol: float = 1e-12,
+               solver: SolverOptions | None = None):
     """Reduce ``system`` around a prescribed excitation pattern.
 
     Parameters
@@ -69,6 +71,9 @@ def eks_reduce(system, n_moments: int, *,
         Store the projection basis on the ROM.
     deflation_tol:
         Relative deflation tolerance.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        shifted-pencil solves.
 
     Returns
     -------
@@ -101,7 +106,7 @@ def eks_reduce(system, n_moments: int, *,
                        what="EKS projection basis")
 
     start = time.perf_counter()
-    operator = ShiftedOperator(system.C, system.G, s0=s0)
+    operator = ShiftedOperator(system.C, system.G, s0=s0, solver=solver)
     krylov = block_krylov_basis(operator, start_block, n_moments,
                                 deflation_tol=deflation_tol)
     rom = congruence_project(

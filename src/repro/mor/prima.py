@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from repro.exceptions import ReductionError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ReducedSystem, ResourceBudget
@@ -67,7 +68,8 @@ def congruence_project(system, V: np.ndarray, *, method: str,
 def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
                  budget: ResourceBudget | None = None,
                  keep_projection: bool = False,
-                 deflation_tol: float = 1e-12):
+                 deflation_tol: float = 1e-12,
+                 solver: SolverOptions | None = None):
     """Reduce ``system`` with PRIMA, matching ``n_moments`` block moments.
 
     Parameters
@@ -87,6 +89,10 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
         Store the (large, dense) projection basis on the ROM.
     deflation_tol:
         Relative tolerance for dropping linearly dependent Krylov vectors.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        shifted-pencil solves (backend choice, caching, iterative
+        parameters).
 
     Returns
     -------
@@ -104,7 +110,7 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
     budget.check_dense(q_expected, 2 * q_expected, what="PRIMA dense ROM")
 
     start = time.perf_counter()
-    operator = ShiftedOperator(system.C, system.G, s0=s0)
+    operator = ShiftedOperator(system.C, system.G, s0=s0, solver=solver)
     krylov = block_krylov_basis(operator, system.B, n_moments,
                                 deflation_tol=deflation_tol)
     rom = congruence_project(

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.exceptions import ReductionError
+from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.orthogonalization import OrthoStats, modified_gram_schmidt
 from repro.mor.base import ResourceBudget
@@ -33,7 +34,8 @@ def multipoint_prima_reduce(system, moments_per_point: int,
                             expansion_points: Sequence[complex], *,
                             budget: ResourceBudget | None = None,
                             keep_projection: bool = False,
-                            deflation_tol: float = 1e-12):
+                            deflation_tol: float = 1e-12,
+                            solver: SolverOptions | None = None):
     """PRIMA-style congruence projection with several expansion points.
 
     Parameters
@@ -53,6 +55,9 @@ def multipoint_prima_reduce(system, moments_per_point: int,
         Store the combined projection basis on the ROM.
     deflation_tol:
         Relative deflation tolerance for the global re-orthonormalisation.
+    solver:
+        Optional :class:`~repro.linalg.backends.SolverOptions` for the
+        per-point shifted-pencil solves.
 
     Returns
     -------
@@ -73,7 +78,8 @@ def multipoint_prima_reduce(system, moments_per_point: int,
     stats = OrthoStats()
     combined = np.empty((n, 0))
     for point in points:
-        operator = ShiftedOperator(system.C, system.G, s0=point)
+        operator = ShiftedOperator(system.C, system.G, s0=point,
+                                   solver=solver)
         krylov = block_krylov_basis(operator, system.B, moments_per_point,
                                     deflation_tol=deflation_tol)
         stats.merge(krylov.stats)

@@ -1,0 +1,11 @@
+"""Fixtures shared by the golden-regression tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    """True when the run was started with ``--update-golden``."""
+    return bool(request.config.getoption("--update-golden"))

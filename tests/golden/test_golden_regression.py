@@ -1,0 +1,200 @@
+"""Golden-regression harness: every backend must reproduce stored outputs.
+
+Two deterministic seed grids — a pure-RC mesh (symmetric SPD pencil) and the
+RLC ``ckt1`` smoke benchmark (unsymmetric pencil) — are pushed through the
+three analyses the paper's application section cares about:
+
+* static IR-drop node voltages (a DC solve),
+* BDSM ROM poles (generalized eigenvalues of the reduced block pencils),
+* transfer-function samples over a log-spaced frequency band.
+
+The reference values live in ``tests/golden/data/<grid>.json`` and are
+(re)generated with the sparse-LU backend by running
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+
+Each registered solver backend that is applicable to a grid must reproduce
+the goldens to tight tolerance, which pins down both the numerics of the
+backends and any accidental behaviour change in the MOR/analysis stack.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro import (
+    BDSMOptions,
+    FrequencyAnalysis,
+    SolverOptions,
+    bdsm_reduce,
+    ir_drop_analysis,
+    make_benchmark,
+)
+from repro.circuit import PowerGridSpec, assemble_mna, build_power_grid
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+
+#: Backend used to (re)generate the stored reference values.
+REFERENCE_BACKEND = "splu"
+
+#: Moments matched by the BDSM ROM whose poles are pinned.
+N_MOMENTS = 3
+
+#: Relative tolerances per golden quantity (scaled by the golden magnitude).
+RTOL = {"dc_voltages": 1e-6, "rom_poles": 1e-5, "tf_samples": 1e-6}
+
+
+def _rc_mesh():
+    spec = PowerGridSpec(rows=6, cols=6, n_ports=6, n_pads=4,
+                         package_inductance=0.0, seed=7,
+                         name="rc-mesh-6x6")
+    return assemble_mna(build_power_grid(spec))
+
+
+GRIDS = {
+    "rc-mesh-6x6": _rc_mesh,
+    "ckt1-smoke": lambda: make_benchmark("ckt1", scale="smoke"),
+}
+
+#: Backends applicable per grid ("cholesky"/"cg" need the symmetric pencil;
+#: "iterative" resolves to CG on real symmetric pencils, GMRES otherwise).
+BACKENDS = {
+    "rc-mesh-6x6": ("auto", "splu", "cholesky", "dense", "iterative",
+                    "gmres"),
+    "ckt1-smoke": ("auto", "splu", "dense", "gmres"),
+}
+
+CASES = [(grid, backend) for grid in GRIDS for backend in BACKENDS[grid]]
+
+
+def _solver_options(backend: str) -> SolverOptions:
+    return SolverOptions(backend=backend, tol=1e-13,
+                         max_iterations=50_000, preconditioner="ilu")
+
+
+def _rom_poles(system, solver: SolverOptions) -> np.ndarray:
+    """Spectrum summary of the BDSM ROM's block pencils.
+
+    The generalized eigenvalues are collected over all blocks; their real
+    and imaginary parts are then sorted *independently* and re-paired.  A
+    lexicographic sort of the complex values would be fragile — conjugate
+    pairs whose real parts agree to roundoff can swap order between
+    backends — while each sorted 1-D array is stable under tiny jitter, so
+    this pins the spectrum without pinning an arbitrary ordering.
+    """
+    rom, _, _ = bdsm_reduce(system, N_MOMENTS,
+                            options=BDSMOptions(solver=solver))
+    poles = []
+    for block in rom.blocks:
+        vals = scipy.linalg.eig(block.G, block.C, right=False)
+        poles.extend(np.asarray(vals))
+    poles = np.asarray(poles, dtype=complex)
+    return np.sort(poles.real) + 1j * np.sort(poles.imag)
+
+
+def compute_observables(system, backend: str) -> dict[str, np.ndarray]:
+    """The golden quantities of one grid under one solver backend."""
+    solver = _solver_options(backend)
+    m = system.B.shape[1]
+    loads = np.linspace(1e-3, 2e-3, m)
+    dc = ir_drop_analysis(system, loads, solver=solver).voltages
+    poles = _rom_poles(system, solver)
+    sweep = FrequencyAnalysis(omega_min=1e5, omega_max=1e10, n_points=7,
+                              solver=solver)
+    tf = sweep.sweep_entry(system, output=0, port=1).values
+    return {"dc_voltages": np.asarray(dc, dtype=float),
+            "rom_poles": poles,
+            "tf_samples": np.asarray(tf, dtype=complex)}
+
+
+def _to_json(values: dict[str, np.ndarray]) -> dict:
+    out: dict[str, object] = {}
+    for key, arr in values.items():
+        if np.iscomplexobj(arr):
+            out[key] = {"real": arr.real.tolist(), "imag": arr.imag.tolist()}
+        else:
+            out[key] = arr.tolist()
+    return out
+
+
+def _from_json(payload: dict) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            out[key] = (np.asarray(value["real"])
+                        + 1j * np.asarray(value["imag"]))
+        else:
+            out[key] = np.asarray(value, dtype=float)
+    return out
+
+
+def golden_path(grid: str) -> Path:
+    return GOLDEN_DIR / f"{grid}.json"
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {name: build() for name, build in GRIDS.items()}
+
+
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_update_golden(grid, systems, update_golden):
+    """Regenerate the stored reference values (only with --update-golden)."""
+    if not update_golden:
+        pytest.skip("golden update not requested")
+    values = compute_observables(systems[grid], REFERENCE_BACKEND)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    payload = {"grid": grid, "reference_backend": REFERENCE_BACKEND,
+               "n_moments": N_MOMENTS, **_to_json(values)}
+    golden_path(grid).write_text(json.dumps(payload, indent=2) + "\n")
+    assert golden_path(grid).exists()
+
+
+@pytest.mark.parametrize("grid,backend", CASES,
+                         ids=[f"{g}-{b}" for g, b in CASES])
+def test_backend_reproduces_golden(grid, backend, systems):
+    """Every applicable backend must match the stored reference outputs."""
+    path = golden_path(grid)
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; run "
+                    "pytest tests/golden --update-golden")
+    stored = _from_json({k: v for k, v in
+                         json.loads(path.read_text()).items()
+                         if k in RTOL})
+    actual = compute_observables(systems[grid], backend)
+    for key, golden in stored.items():
+        got = actual[key]
+        assert got.shape == golden.shape, key
+        scale = float(np.max(np.abs(golden))) or 1.0
+        rtol = RTOL[key]
+        assert np.allclose(got, golden, rtol=rtol, atol=rtol * scale), (
+            f"{grid}/{backend}: {key} deviates from golden by "
+            f"{np.max(np.abs(got - golden)):.3e} "
+            f"(allowed {rtol * scale:.3e})")
+
+
+def test_goldens_match_reference_backend_exactly(systems):
+    """The reference backend must reproduce its own goldens bit-tightly.
+
+    Guards against accidental regeneration drift: if this fails while the
+    backend comparisons pass, the seed grids or the analyses changed and the
+    goldens need a reviewed ``--update-golden`` run.
+    """
+    for grid, system in systems.items():
+        path = golden_path(grid)
+        if not path.exists():
+            pytest.fail(f"golden file {path} missing; run "
+                        "pytest tests/golden --update-golden")
+        stored = _from_json({k: v for k, v in
+                             json.loads(path.read_text()).items()
+                             if k in RTOL})
+        actual = compute_observables(system, REFERENCE_BACKEND)
+        for key, golden in stored.items():
+            scale = float(np.max(np.abs(golden))) or 1.0
+            assert np.allclose(actual[key], golden, rtol=1e-9,
+                               atol=1e-9 * scale), (grid, key)

@@ -1,0 +1,298 @@
+"""Unit tests for repro.linalg.backends (registry, selection, cache, wiring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import SingularSystemError, SolverBackendError
+from repro.linalg.backends import (
+    CholeskySolver,
+    DenseSolver,
+    FactorizationCache,
+    SolverOptions,
+    SpluSolver,
+    available_backends,
+    default_cache,
+    get_solver,
+    select_backend,
+    solve,
+    temporary_default_cache,
+)
+from repro.linalg.krylov import ShiftedOperator
+
+
+def _laplacian(n: int) -> sp.csr_matrix:
+    """1-D Poisson matrix: sparse, symmetric positive definite."""
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+
+
+class TestRegistry:
+    def test_expected_backends_registered(self):
+        assert {"splu", "cholesky", "dense", "cg", "gmres"} <= set(
+            available_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverBackendError):
+            get_solver(_laplacian(5),
+                       options=SolverOptions(backend="quantum"))
+
+    def test_explicit_backend_honoured(self):
+        A = _laplacian(300)
+        for name in ("splu", "cholesky", "dense", "cg", "gmres"):
+            solver = get_solver(
+                A, options=SolverOptions(backend=name, use_cache=False))
+            assert solver.name == name
+
+    def test_iterative_alias_resolves_by_symmetry(self):
+        A = _laplacian(10)
+        assert select_backend(
+            A, SolverOptions(backend="iterative")) == "cg"
+        U = A.tolil()
+        U[0, 5] = 3.0
+        assert select_backend(
+            U.tocsr(), SolverOptions(backend="iterative")) == "gmres"
+
+
+class TestSelectionHeuristics:
+    def test_small_matrices_go_dense(self):
+        assert select_backend(_laplacian(8)) == "dense"
+
+    def test_spd_matrices_go_cholesky(self):
+        assert select_backend(_laplacian(300)) == "cholesky"
+
+    def test_unsymmetric_matrices_go_splu(self):
+        A = _laplacian(300).tolil()
+        A[0, 250] = 5.0
+        assert select_backend(A.tocsr()) == "splu"
+
+    def test_complex_matrices_go_splu(self):
+        A = (_laplacian(300) * (1 + 1j)).tocsr()
+        assert select_backend(A) == "splu"
+
+    def test_huge_matrices_go_iterative(self):
+        A = _laplacian(400)
+        opts = SolverOptions(iterative_threshold=350)
+        assert select_backend(A, opts) == "cg"
+
+    def test_thresholds_configurable(self):
+        A = _laplacian(300)
+        assert select_backend(A, SolverOptions(dense_threshold=512)) == "dense"
+
+
+class TestBackendBehaviour:
+    def test_cholesky_rejects_unsymmetric(self):
+        A = _laplacian(20).tolil()
+        A[0, 10] = 5.0
+        with pytest.raises(SolverBackendError):
+            CholeskySolver(A.tocsr(), SolverOptions())
+
+    def test_cholesky_falls_back_on_indefinite(self):
+        # Symmetric but indefinite: symmetric-mode SuperLU may hit a zero
+        # pivot; the backend must still produce a correct solve via LU.
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        x = CholeskySolver(A, SolverOptions()).solve(np.array([1.0, 2.0]))
+        assert np.allclose(A @ x, [1.0, 2.0])
+
+    @pytest.mark.filterwarnings("ignore::scipy.linalg.LinAlgWarning")
+    def test_dense_rejects_singular(self):
+        A = np.zeros((3, 3))
+        with pytest.raises(SingularSystemError):
+            DenseSolver(A, SolverOptions()).solve(np.ones(3))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SolverBackendError):
+            SpluSolver(sp.csr_matrix(np.ones((2, 3))), SolverOptions())
+
+    def test_rhs_length_checked(self):
+        solver = get_solver(_laplacian(5),
+                            options=SolverOptions(use_cache=False))
+        with pytest.raises(SolverBackendError):
+            solver.solve(np.ones(7))
+
+    def test_complex_pencil_all_direct_backends(self):
+        A = (_laplacian(40) + 1j * sp.eye(40)).tocsr()
+        b = np.ones(40)
+        for name in ("splu", "dense", "gmres"):
+            x = get_solver(
+                A, options=SolverOptions(backend=name, use_cache=False,
+                                         tol=1e-13)).solve(b)
+            assert np.linalg.norm(A @ x - b) < 1e-8
+
+    def test_cg_rejects_complex(self):
+        A = (_laplacian(10) * (1 + 1j)).tocsr()
+        with pytest.raises(SolverBackendError):
+            get_solver(A, options=SolverOptions(backend="cg",
+                                                use_cache=False))
+
+    def test_iterative_unknown_preconditioner(self):
+        with pytest.raises(SolverBackendError):
+            get_solver(_laplacian(10),
+                       options=SolverOptions(backend="cg", use_cache=False,
+                                             preconditioner="magic"))
+
+    def test_sparse_rhs_accepted(self):
+        A = _laplacian(6)
+        B = sp.csr_matrix(np.eye(6)[:, :2])
+        X = get_solver(A, options=SolverOptions(use_cache=False)).solve(B)
+        assert np.allclose(A @ X, np.eye(6)[:, :2])
+
+    def test_solve_convenience(self):
+        A = _laplacian(6)
+        b = np.arange(6.0)
+        assert np.allclose(A @ solve(A, b), b)
+
+
+class TestFactorizationCache:
+    def test_lru_eviction_order(self):
+        cache = FactorizationCache(capacity=2)
+        mats = [sp.eye(k + 1, format="csr") * 2.0 for k in range(3)]
+        s0 = get_solver(mats[0], cache=cache)
+        get_solver(mats[1], cache=cache)
+        # Touch the first entry so the second becomes LRU.
+        assert get_solver(mats[0], cache=cache) is s0
+        get_solver(mats[2], cache=cache)  # evicts mats[1]
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.size == 2
+        assert get_solver(mats[0], cache=cache) is s0  # still cached
+
+    def test_stats_and_clear(self):
+        cache = FactorizationCache(capacity=4)
+        A = _laplacian(5)
+        get_solver(A, cache=cache)
+        get_solver(A, cache=cache)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0
+        cache.reset_stats()
+        assert cache.stats().hits == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(SolverBackendError):
+            FactorizationCache(capacity=0)
+
+    def test_different_options_do_not_collide(self):
+        cache = FactorizationCache(capacity=8)
+        A = _laplacian(5)
+        direct = get_solver(A, options=SolverOptions(backend="dense"),
+                            cache=cache)
+        iterative = get_solver(A, options=SolverOptions(backend="cg"),
+                               cache=cache)
+        assert direct is not iterative
+        assert direct.name == "dense" and iterative.name == "cg"
+
+    def test_use_cache_false_bypasses(self):
+        cache = FactorizationCache(capacity=4)
+        A = _laplacian(5)
+        with temporary_default_cache(cache):
+            get_solver(A, options=SolverOptions(use_cache=False))
+        assert len(cache) == 0
+
+    def test_temporary_default_cache_restores(self):
+        original = default_cache()
+        replacement = FactorizationCache(capacity=2)
+        with temporary_default_cache(replacement) as active:
+            assert default_cache() is active is replacement
+        assert default_cache() is original
+
+
+class TestLibraryWiring:
+    """SolverOptions reach the analyses and change nothing numerically."""
+
+    def test_shifted_operator_backend_override(self, rc_grid_system):
+        sys_ = rc_grid_system
+        rhs = np.arange(sys_.size, dtype=float)
+        base = ShiftedOperator(sys_.C, sys_.G, s0=0.0).solve(rhs)
+        for name in ("splu", "cholesky", "dense"):
+            op = ShiftedOperator(sys_.C, sys_.G, s0=0.0,
+                                 solver=SolverOptions(backend=name))
+            assert op.backend_name == name
+            assert np.allclose(op.solve(rhs), base, rtol=1e-10, atol=1e-14)
+
+    def test_shifted_operator_solve_count_batched(self, rc_grid_system):
+        sys_ = rc_grid_system
+        op = ShiftedOperator(sys_.C, sys_.G, s0=0.0)
+        op.solve(np.ones((sys_.size, 5)))
+        assert op.solve_count == 5
+
+    def test_transient_solver_options_equivalent(self, rc_ladder_system):
+        from repro.analysis.sources import SourceBank, StepSource
+        from repro.analysis.transient import TransientAnalysis
+        sources = SourceBank.uniform(rc_ladder_system.B.shape[1],
+                                     StepSource(1e-3))
+        kwargs = dict(t_stop=1e-4, dt=1e-5)
+        base = TransientAnalysis(**kwargs).run(rc_ladder_system, sources)
+        alt = TransientAnalysis(
+            **kwargs, solver=SolverOptions(backend="splu")).run(
+            rc_ladder_system, sources)
+        assert np.allclose(base.outputs, alt.outputs, rtol=1e-12, atol=1e-15)
+
+    def test_transient_warm_cache_bit_identical(self, rc_ladder_system):
+        from repro.analysis.sources import SourceBank, StepSource
+        from repro.analysis.transient import TransientAnalysis
+        sources = SourceBank.uniform(rc_ladder_system.B.shape[1],
+                                     StepSource(1e-3))
+        transient = TransientAnalysis(t_stop=1e-4, dt=1e-5)
+        with temporary_default_cache(FactorizationCache(capacity=4)) as cache:
+            cold = transient.run(rc_ladder_system, sources)
+            warm = transient.run(rc_ladder_system, sources)
+            assert cache.stats().hits >= 1
+        assert np.array_equal(cold.outputs, warm.outputs)
+
+    def test_bdsm_solver_options_equivalent(self, smoke_benchmark):
+        from repro import BDSMOptions, bdsm_reduce
+        base, _, _ = bdsm_reduce(smoke_benchmark, 3)
+        alt, _, _ = bdsm_reduce(
+            smoke_benchmark, 3,
+            options=BDSMOptions(solver=SolverOptions(backend="dense")))
+        for blk_a, blk_b in zip(base.blocks, alt.blocks):
+            assert np.allclose(blk_a.G, blk_b.G, rtol=1e-8, atol=1e-12)
+
+    def test_blockwise_simulation_default_leaves_cache_alone(
+            self, smoke_benchmark):
+        from repro import BDSMOptions, bdsm_reduce
+        from repro.analysis.sources import SourceBank, StepSource
+        from repro.core.simulation import simulate_blockwise
+        rom, _, _ = bdsm_reduce(smoke_benchmark, 2, options=BDSMOptions())
+        sources = SourceBank.uniform(rom.n_ports, StepSource(1e-3))
+        with temporary_default_cache(FactorizationCache(capacity=4)) as cache:
+            simulate_blockwise(rom, sources, t_stop=1e-5, dt=1e-6)
+            # ROMs can have far more blocks than the cache has slots, so
+            # per-block factors stay out of the shared cache by default.
+            assert len(cache) == 0
+
+    def test_blockwise_simulation_opt_in_cache(self, smoke_benchmark):
+        from repro import BDSMOptions, bdsm_reduce
+        from repro.analysis.sources import SourceBank, StepSource
+        from repro.core.simulation import simulate_blockwise
+        rom, _, _ = bdsm_reduce(smoke_benchmark, 2, options=BDSMOptions())
+        sources = SourceBank.uniform(rom.n_ports, StepSource(1e-3))
+        opts = SolverOptions()
+        with temporary_default_cache(
+                FactorizationCache(capacity=2 * rom.n_blocks)) as cache:
+            cold = simulate_blockwise(rom, sources, t_stop=1e-5, dt=1e-6,
+                                      solver=opts)
+            misses_cold = cache.stats().misses
+            warm = simulate_blockwise(rom, sources, t_stop=1e-5, dt=1e-6,
+                                      solver=opts)
+            stats = cache.stats()
+        assert misses_cold == rom.n_blocks
+        assert stats.hits == rom.n_blocks
+        assert np.array_equal(cold.outputs, warm.outputs)
+
+    def test_ir_drop_solver_options(self, rc_grid_system):
+        from repro import ir_drop_analysis
+        loads = np.full(rc_grid_system.B.shape[1], 1e-3)
+        base = ir_drop_analysis(rc_grid_system, loads)
+        alt = ir_drop_analysis(
+            rc_grid_system, loads,
+            solver=SolverOptions(backend="cg", tol=1e-13,
+                                 preconditioner="ilu"))
+        assert np.allclose(base.voltages, alt.voltages,
+                           rtol=1e-8, atol=1e-12)
