@@ -28,6 +28,7 @@ Run with ``pytest benchmarks/bench_table2_cpu_times.py --benchmark-only``.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import numpy as np
@@ -36,7 +37,9 @@ import pytest
 from benchmarks.conftest import bench_scale, results_path
 from repro import (
     BDSMOptions,
+    FrequencyAnalysis,
     ResourceBudgetExceeded,
+    SweepEngine,
     bdsm_reduce,
     eks_reduce,
     make_benchmark,
@@ -258,3 +261,72 @@ def test_transient_warm_cache_speedup(benchmark, systems):
     print(f"\nwarm-cache transient: cold={cold_seconds:.4f}s "
           f"warm={warm_best:.4f}s speedup={record['speedup']:.1f}x "
           f"hit_rate={stats.hit_rate:.0%}")
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """Serial vs parallel 60-point full-matrix sweep on the larger seed grid.
+
+    The :class:`~repro.analysis.engine.SweepEngine` fans the 60 frequency
+    pencils across a thread pool (SciPy's SuperLU releases the GIL during
+    factor and solve), so with 2+ cores the parallel sweep must beat the
+    serial one by at least 1.5x while staying bit-identical.  Both sides
+    are timed with the same best-of-two protocol so the recorded speedup
+    is not flattered by one-time warm-up costs on the serial side.  The
+    measurement is appended to ``benchmarks/results/parallel_sweep.json``
+    so the speedup trajectory is tracked across commits; on single-core
+    machines the test records nothing and skips (there is no parallelism
+    to measure).
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip("parallel sweep speedup needs at least 2 CPU cores")
+    jobs = min(4, cpus)
+    # The larger seed grid: ckt2 at the laptop scale (n≈5k, 108 ports)
+    # regardless of REPRO_BENCH_SCALE — smoke grids are factorised too
+    # quickly for pool dispatch to be visible.
+    system = make_benchmark("ckt2", scale="laptop")
+    serial = FrequencyAnalysis(n_points=60)
+    parallel = FrequencyAnalysis(n_points=60,
+                                 engine=SweepEngine(jobs=jobs))
+
+    serial_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serial_sweep = serial.sweep(system)
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+
+    parallel_sweep = benchmark.pedantic(
+        lambda: parallel.sweep(system), rounds=2, iterations=1)
+    parallel_best = float(benchmark.stats.stats.min)
+    speedup = serial_seconds / parallel_best
+
+    # Correctness first: the parallel sweep must be bit-identical.
+    assert np.array_equal(serial_sweep.values, parallel_sweep.values)
+
+    record = {
+        "timestamp": time.time(),
+        "circuit": system.name,
+        "nodes": system.size,
+        "ports": system.n_ports,
+        "n_points": 60,
+        "jobs": jobs,
+        "cpu_count": cpus,
+        "serial_seconds_best": serial_seconds,
+        "parallel_seconds_best": parallel_best,
+        "speedup": speedup,
+    }
+    path = results_path("parallel_sweep.json")
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\nparallel sweep ({jobs} jobs): serial={serial_seconds:.3f}s "
+          f"parallel={parallel_best:.3f}s speedup={speedup:.2f}x")
+
+    assert speedup >= 1.5, (
+        f"parallel sweep ({jobs} jobs) only {speedup:.2f}x faster than "
+        f"serial; expected >= 1.5x on {cpus} cores")

@@ -23,9 +23,13 @@ from repro.analysis import (
     FrequencySweepResult,
     IRDropResult,
     SourceBank,
+    SweepEngine,
     TransientAnalysis,
     TransientResult,
+    dynamic_ir_drop,
+    dynamic_ir_drop_batch,
     ir_drop_analysis,
+    ir_drop_batch,
 )
 from repro.circuit import (
     DescriptorSystem,
@@ -116,6 +120,7 @@ __all__ = [
     "SolverOptions",
     "SourceBank",
     "StampingError",
+    "SweepEngine",
     "TransientAnalysis",
     "TransientResult",
     "ValidationError",
@@ -127,11 +132,14 @@ __all__ = [
     "clear_default_cache",
     "count_matched_moments",
     "default_cache",
+    "dynamic_ir_drop",
+    "dynamic_ir_drop_batch",
     "eks_reduce",
     "enforce_passivity",
     "get_solver",
     "hamiltonian_passivity_test",
     "ir_drop_analysis",
+    "ir_drop_batch",
     "laguerre_passivity_scan",
     "make_benchmark",
     "max_relative_error",

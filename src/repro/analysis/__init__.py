@@ -7,8 +7,15 @@ benchmark harness can compare "simulate the full model" against "simulate
 the ROM" without special cases.
 """
 
+from repro.analysis.engine import AdaptiveSweepResult, SweepEngine
 from repro.analysis.frequency import FrequencyAnalysis, FrequencySweepResult
-from repro.analysis.ir_drop import IRDropResult, ir_drop_analysis
+from repro.analysis.ir_drop import (
+    IRDropResult,
+    dynamic_ir_drop,
+    dynamic_ir_drop_batch,
+    ir_drop_analysis,
+    ir_drop_batch,
+)
 from repro.analysis.sources import (
     ConstantSource,
     PiecewiseLinearSource,
@@ -21,6 +28,7 @@ from repro.analysis.sources import (
 from repro.analysis.transient import TransientAnalysis, TransientResult
 
 __all__ = [
+    "AdaptiveSweepResult",
     "ConstantSource",
     "FrequencyAnalysis",
     "FrequencySweepResult",
@@ -29,9 +37,13 @@ __all__ = [
     "PulseSource",
     "SourceBank",
     "StepSource",
+    "SweepEngine",
     "TransientAnalysis",
     "TransientResult",
     "UnitImpulseSource",
     "Waveform",
+    "dynamic_ir_drop",
+    "dynamic_ir_drop_batch",
     "ir_drop_analysis",
+    "ir_drop_batch",
 ]

@@ -8,28 +8,30 @@ them.
 Any object exposing ``C, G, B, L`` works; block-diagonal ROMs additionally
 expose a fast per-block solve that :class:`FrequencyAnalysis` uses
 automatically when present (duck-typed through ``transfer_function``).
+
+Point evaluation is delegated to the
+:class:`~repro.analysis.engine.SweepEngine`: the default engine runs
+serially, and passing one with ``jobs >= 2`` fans the frequency points
+across a worker pool with bit-identical results.
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
 
+# _accepts_solver is re-exported for back-compat; the memoized signature
+# probe lives in the engine module now.
+from repro.analysis.engine import (  # noqa: F401
+    SweepEngine,
+    _accepts_solver,
+    _call_transfer,
+)
 from repro.exceptions import SimulationError
 from repro.linalg.backends import SolverOptions
-from repro.linalg.krylov import ShiftedOperator
 
 __all__ = ["FrequencyAnalysis", "FrequencySweepResult"]
-
-
-def _accepts_solver(fn) -> bool:
-    """Whether ``fn`` takes a ``solver`` keyword (signature probed once)."""
-    try:
-        return "solver" in inspect.signature(fn).parameters
-    except (TypeError, ValueError):  # builtins / C callables
-        return False
 
 
 @dataclass
@@ -114,12 +116,28 @@ class FrequencyAnalysis:
         sweeps of the same grid, pass options with caching enabled and give
         the process cache room for them, e.g. ``set_default_cache(
         FactorizationCache(capacity=2 * n_points))``.
+    engine:
+        Optional :class:`~repro.analysis.engine.SweepEngine`.  ``None``
+        (default) evaluates serially; an engine with ``jobs >= 2`` fans the
+        frequency points across its worker pool with bit-identical results.
+        *Parallel* generic pencil solves (systems without their own
+        ``transfer_function``) run uncached — a sweep touches each pencil
+        once, so a cache could never hit — which means a cache installed
+        via :func:`~repro.linalg.backends.set_default_cache` is neither
+        consulted nor polluted by concurrent workers; serial sweeps keep
+        consulting the default cache, so the ``set_default_cache`` reuse
+        recipe above still applies.  Systems that provide their own
+        ``transfer_function`` (e.g. the full MNA model, whose default is
+        uncached per-frequency factors) keep their own caching policy, and
+        process-pool workers always start from a fresh default cache
+        installed by :func:`~repro.linalg.backends.process_worker_init`.
     """
 
     omega_min: float = 1e5
     omega_max: float = 1e12
     n_points: int = 60
     solver: SolverOptions | None = None
+    engine: SweepEngine | None = None
     _omegas: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -137,6 +155,9 @@ class FrequencyAnalysis:
         """The angular-frequency grid of the sweep."""
         return self._omegas.copy()
 
+    def _engine(self) -> SweepEngine:
+        return self.engine if self.engine is not None else SweepEngine(jobs=1)
+
     # ------------------------------------------------------------------ #
     # Sweeps
     # ------------------------------------------------------------------ #
@@ -146,12 +167,12 @@ class FrequencyAnalysis:
 
         Uses the system's own ``transfer_function`` when available (which for
         a :class:`~repro.core.structured_rom.BlockDiagonalROM` exploits the
-        block structure); otherwise falls back to a generic sparse solve.
+        block structure); otherwise falls back to a generic sparse solve
+        whose dense right-hand-side block is built once for the whole sweep
+        and solved with one multi-RHS call per frequency pencil.
         """
-        samples = []
-        for omega in self._omegas:
-            samples.append(self._evaluate(system, 1j * omega))
-        values = np.stack(samples, axis=0)
+        values = self._engine().sample_matrix(
+            system, 1j * self._omegas, solver=self.solver)
         return FrequencySweepResult(
             omegas=self.omegas, values=values,
             label=label or getattr(system, "name", ""))
@@ -159,26 +180,34 @@ class FrequencyAnalysis:
     def sweep_entry(self, system, output: int, port: int, *,
                     label: str | None = None) -> FrequencySweepResult:
         """Sample a single transfer-matrix entry over the band (Fig. 5a)."""
-        values = np.empty(self.n_points, dtype=complex)
-        for k, omega in enumerate(self._omegas):
-            s = 1j * omega
-            if hasattr(system, "transfer_entry"):
-                values[k] = self._call_transfer(
-                    system.transfer_entry, s, output, port)
-            else:
-                values[k] = self._evaluate(system, s)[output, port]
+        values = self._engine().sample_entry(
+            system, 1j * self._omegas, output, port, solver=self.solver)
         return FrequencySweepResult(
             omegas=self.omegas, values=values, output=output, port=port,
             label=label or getattr(system, "name", ""))
 
     def compare(self, reference, candidates: dict, *, output: int,
-                port: int) -> dict[str, dict[str, np.ndarray]]:
+                port: int, adaptive: bool = False,
+                target_error: float = 1e-3,
+                ) -> dict[str, dict[str, np.ndarray]]:
         """Sweep one entry on a reference model and several ROMs.
 
         Returns a mapping ``label -> {"magnitude": ..., "relative_error": ...}``
         plus a ``"reference"`` entry, i.e. exactly the series plotted in
         Fig. 5(a)/(b).
+
+        With ``adaptive=True`` the engine refines the frequency grid
+        instead of sweeping it densely: points are solved exactly only
+        where the interpolated relative-error estimate is near or above
+        ``target_error`` (or changes too fast to trust), and the remaining
+        samples are interpolated.  The report then carries an extra
+        ``"adaptive"`` entry with the evaluation mask and the number of
+        per-model point evaluations saved.
         """
+        if adaptive:
+            return self._compare_adaptive(reference, candidates,
+                                          output=output, port=port,
+                                          target_error=target_error)
         ref_sweep = self.sweep_entry(reference, output, port,
                                      label="reference")
         report: dict[str, dict[str, np.ndarray]] = {
@@ -196,30 +225,41 @@ class FrequencyAnalysis:
             }
         return report
 
+    def _compare_adaptive(self, reference, candidates: dict, *, output: int,
+                          port: int, target_error: float,
+                          ) -> dict[str, dict[str, np.ndarray]]:
+        result = self._engine().adaptive_entry_sweep(
+            reference, candidates, self._omegas, output, port,
+            solver=self.solver, target_error=target_error)
+        report: dict[str, dict[str, np.ndarray]] = {
+            "reference": {
+                "omegas": self.omegas,
+                "magnitude": np.abs(result.reference),
+            }
+        }
+        for label in candidates:
+            report[label] = {
+                "omegas": self.omegas,
+                "magnitude": np.abs(result.candidates[label]),
+                "relative_error": result.errors[label],
+            }
+        report["adaptive"] = {
+            "evaluated": result.evaluated,
+            "n_evaluated": result.n_evaluated,
+            "n_points": result.n_points,
+            "target_error": target_error,
+            "evaluations_saved": result.evaluations_saved,
+        }
+        return report
+
     # ------------------------------------------------------------------ #
-    # Internals
+    # Internals (kept for backward compatibility; the engine kernels are
+    # the canonical implementation)
     # ------------------------------------------------------------------ #
     def _call_transfer(self, fn, *args):
-        """Invoke a system's own transfer evaluator, forwarding the solver.
-
-        Full MNA systems accept ``solver=`` (and default to uncached
-        per-frequency factors); ROM classes evaluate densely and take no
-        such knob.  The signature is inspected rather than catching
-        ``TypeError`` so a genuine evaluator bug is never masked or
-        re-executed.
-        """
-        if self.solver is not None and _accepts_solver(fn):
-            return fn(*args, solver=self.solver)
-        return fn(*args)
+        """Invoke a system's own transfer evaluator, forwarding the solver."""
+        return _call_transfer(fn, args, self.solver)
 
     def _evaluate(self, system, s: complex) -> np.ndarray:
-        if hasattr(system, "transfer_function"):
-            return np.asarray(self._call_transfer(system.transfer_function, s))
-        solver = self.solver
-        if solver is None:
-            solver = SolverOptions(use_cache=False)
-        op = ShiftedOperator(system.C, system.G, s0=s, solver=solver)
-        B = system.B.toarray() if hasattr(system.B, "toarray") else system.B
-        X = op.solve(B)
-        L = system.L
-        return np.asarray(L @ X)
+        return self._engine().sample_matrix(system, [s],
+                                            solver=self.solver)[0]

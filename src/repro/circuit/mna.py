@@ -163,9 +163,9 @@ class DescriptorSystem:
         """
         op = ShiftedOperator(self.C, self.G, s0=s,
                              solver=solver or _UNCACHED_SOLVER)
-        b_col = np.asarray(self.B[:, port].todense()).reshape(-1)
+        b_col = self.B[:, port].toarray().reshape(-1)
         x = op.solve(b_col)
-        row = np.asarray(self.L[output, :].todense()).reshape(-1)
+        row = self.L[output, :].toarray().reshape(-1)
         return complex(row @ x)
 
     def dc_operating_point(self, port_currents: np.ndarray | None = None,

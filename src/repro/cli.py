@@ -18,7 +18,10 @@ All commands accept ``--scale smoke|laptop|paper`` (default ``smoke`` so the
 CLI responds in seconds).  ``reduce`` and ``sweep`` additionally accept
 ``--solver`` (a backend name from :mod:`repro.linalg.backends`, ``auto`` by
 default) and ``--no-solver-cache`` to disable factorization reuse; a cache
-hit/miss summary is printed after each run.
+hit/miss summary is printed after each run.  ``sweep`` also accepts
+``--jobs N`` to fan frequency points across N workers (bit-identical to the
+serial sweep) and ``--adaptive``/``--target-error`` to refine the grid
+adaptively instead of sweeping it densely.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro import (
     FrequencyAnalysis,
     ReproError,
     SolverOptions,
+    SweepEngine,
     bdsm_reduce,
     eks_reduce,
     make_benchmark,
@@ -112,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="linear-solver backend for pencil solves")
     sweep_cmd.add_argument("--no-solver-cache", action="store_true",
                            help="disable the factorization cache")
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="parallel sweep workers (0 = one per CPU); "
+                                "results are bit-identical to --jobs 1")
+    sweep_cmd.add_argument("--adaptive", action="store_true",
+                           help="refine the frequency grid adaptively "
+                                "instead of sweeping it densely")
+    sweep_cmd.add_argument("--target-error", type=float, default=1e-3,
+                           help="relative-error target steering --adaptive "
+                                "refinement (default 1e-3)")
     return parser
 
 
@@ -165,15 +178,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: benchmark has {system.n_outputs} outputs and "
               f"{system.n_ports} ports", file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print("error: --jobs must be >= 0 (0 = one per CPU)",
+              file=sys.stderr)
+        return 2
     output, port = args.output - 1, args.port - 1
     solver = _solver_options(args)
     bdsm_rom, _, _ = bdsm_reduce(system, args.moments,
                                  options=BDSMOptions(solver=solver))
     prima_rom, _, _ = prima_reduce(system, args.moments, solver=solver)
+    engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
     analysis = FrequencyAnalysis(omega_min=1e5, omega_max=1e12,
-                                 n_points=args.points, solver=solver)
+                                 n_points=args.points, solver=solver,
+                                 engine=engine)
     report = analysis.compare(system, {"BDSM": bdsm_rom, "PRIMA": prima_rom},
-                              output=output, port=port)
+                              output=output, port=port,
+                              adaptive=args.adaptive,
+                              target_error=args.target_error)
     rows = []
     for k, omega in enumerate(report["reference"]["omegas"]):
         rows.append({
@@ -185,6 +206,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(
         rows, title=f"H[{args.output},{args.port}] of {system.name} "
                     f"(l={args.moments})"))
+    if args.adaptive:
+        info = report["adaptive"]
+        print(f"adaptive sweep: evaluated {info['n_evaluated']}/"
+              f"{info['n_points']} grid points "
+              f"(target {info['target_error']:.0e}, saved "
+              f"{info['evaluations_saved']} model evaluations)")
     _print_cache_summary()
     return 0
 

@@ -143,7 +143,7 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
         chunk_blocks: list[ROMBlock] = []
         for local_idx, port in enumerate(chunk_columns):
             V_i = bases[local_idx]
-            b_i = np.asarray(B[:, port].todense()).reshape(-1)
+            b_i = B[:, port].toarray().reshape(-1)
             chunk_blocks.append(ROMBlock(
                 index=port,
                 C=V_i.T @ (C @ V_i),

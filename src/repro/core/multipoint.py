@@ -109,7 +109,7 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
             if not combined.size:
                 raise ReductionError(
                     f"port {port}: multipoint basis is empty after deflation")
-            b_i = np.asarray(B[:, port].todense()).reshape(-1)
+            b_i = B[:, port].toarray().reshape(-1)
             blocks.append(ROMBlock(
                 index=port,
                 C=combined.T @ (C @ combined),

@@ -33,6 +33,7 @@ from repro.linalg.backends import (
     default_cache,
     get_solver,
     matrix_fingerprint,
+    process_worker_init,
     select_backend,
     set_default_cache,
     solve,
@@ -90,6 +91,7 @@ __all__ = [
     "modified_gram_schmidt",
     "nnz_density",
     "orthonormalize_against",
+    "process_worker_init",
     "select_backend",
     "set_default_cache",
     "solve",

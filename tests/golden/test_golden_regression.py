@@ -16,11 +16,18 @@ The reference values live in ``tests/golden/data/<grid>.json`` and are
 Each registered solver backend that is applicable to a grid must reproduce
 the goldens to tight tolerance, which pins down both the numerics of the
 backends and any accidental behaviour change in the MOR/analysis stack.
+
+Setting ``REPRO_GOLDEN_JOBS=N`` (the CI matrix exercises ``2``) routes all
+frequency sweeps through a parallel
+:class:`~repro.analysis.engine.SweepEngine` with ``N`` workers; the stored
+goldens must still be reproduced, which pins the parallel sweep path
+bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -31,6 +38,7 @@ from repro import (
     BDSMOptions,
     FrequencyAnalysis,
     SolverOptions,
+    SweepEngine,
     bdsm_reduce,
     ir_drop_analysis,
     make_benchmark,
@@ -47,6 +55,13 @@ N_MOMENTS = 3
 
 #: Relative tolerances per golden quantity (scaled by the golden magnitude).
 RTOL = {"dc_voltages": 1e-6, "rom_poles": 1e-5, "tf_samples": 1e-6}
+
+#: Sweep workers (CI matrix sets 2 to pin the parallel path to the goldens).
+GOLDEN_JOBS = int(os.environ.get("REPRO_GOLDEN_JOBS", "1"))
+
+
+def _sweep_engine() -> SweepEngine | None:
+    return SweepEngine(jobs=GOLDEN_JOBS) if GOLDEN_JOBS != 1 else None
 
 
 def _rc_mesh():
@@ -105,7 +120,7 @@ def compute_observables(system, backend: str) -> dict[str, np.ndarray]:
     dc = ir_drop_analysis(system, loads, solver=solver).voltages
     poles = _rom_poles(system, solver)
     sweep = FrequencyAnalysis(omega_min=1e5, omega_max=1e10, n_points=7,
-                              solver=solver)
+                              solver=solver, engine=_sweep_engine())
     tf = sweep.sweep_entry(system, output=0, port=1).values
     return {"dc_voltages": np.asarray(dc, dtype=float),
             "rom_poles": poles,
@@ -176,6 +191,28 @@ def test_backend_reproduces_golden(grid, backend, systems):
             f"{grid}/{backend}: {key} deviates from golden by "
             f"{np.max(np.abs(got - golden)):.3e} "
             f"(allowed {rtol * scale:.3e})")
+
+
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_parallel_sweep_bit_identical_to_serial(grid, systems):
+    """A ``--jobs 2`` sweep must reproduce the serial sweep bit-for-bit.
+
+    This is the in-tree counterpart of the CI matrix entry that reruns the
+    whole golden harness under ``REPRO_GOLDEN_JOBS=2``: chunking is
+    deterministic and each worker runs the serial per-point kernel, so not
+    a single ULP may differ.
+    """
+    system = systems[grid]
+    solver = _solver_options(REFERENCE_BACKEND)
+    serial = FrequencyAnalysis(omega_min=1e5, omega_max=1e10, n_points=7,
+                               solver=solver)
+    parallel = FrequencyAnalysis(omega_min=1e5, omega_max=1e10, n_points=7,
+                                 solver=solver, engine=SweepEngine(jobs=2))
+    assert np.array_equal(
+        serial.sweep_entry(system, output=0, port=1).values,
+        parallel.sweep_entry(system, output=0, port=1).values)
+    assert np.array_equal(serial.sweep(system).values,
+                          parallel.sweep(system).values)
 
 
 def test_goldens_match_reference_backend_exactly(systems):

@@ -42,6 +42,21 @@ class TestBdsmBasics:
             bdsm_reduce(rc_grid_system, 2,
                         options=BDSMOptions(port_chunk_size=0))
 
+    def test_reduction_avoids_matrix_producing_todense(self, rc_grid_system,
+                                                       monkeypatch):
+        """Block assembly uses ``.toarray()`` (ndarray), never the
+        deprecated ``np.matrix``-producing ``.todense()``."""
+        import scipy.sparse as sp
+
+        def banned(self, *args, **kwargs):
+            raise AssertionError(".todense() called in a hot path")
+
+        monkeypatch.setattr(sp.spmatrix, "todense", banned)
+        rom, _, _ = bdsm_reduce(rc_grid_system, 2)
+        for block in rom.blocks:
+            assert type(block.b) is np.ndarray
+            assert type(block.L) is np.ndarray
+
 
 class TestBdsmAccuracy:
     def test_matches_l_moments_per_column(self, rc_grid_system):

@@ -67,3 +67,30 @@ class TestSweepCommand:
 
     def test_sweep_rejects_out_of_range_port(self, capsys):
         assert main(["sweep", "--port", "9999"]) == 2
+
+    def test_sweep_parallel_jobs_output_matches_serial(self, capsys):
+        argv = ["sweep", "--benchmark", "ckt1", "--moments", "3",
+                "--points", "5", "--output", "1", "--port", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical tables: the parallel sweep is bit-identical, and the
+        # formatting layer prints the exact same digits
+        serial_table = [line for line in serial_out.splitlines()
+                        if "solver cache" not in line]
+        parallel_table = [line for line in parallel_out.splitlines()
+                          if "solver cache" not in line]
+        assert serial_table == parallel_table
+
+    def test_sweep_rejects_negative_jobs(self, capsys):
+        assert main(["sweep", "--jobs", "-2"]) == 2
+
+    def test_sweep_adaptive_reports_refinement(self, capsys):
+        code = main(["sweep", "--benchmark", "ckt1", "--moments", "3",
+                     "--points", "12", "--output", "1", "--port", "2",
+                     "--adaptive", "--target-error", "1e-2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive sweep: evaluated" in out
+        assert "relerr BDSM" in out

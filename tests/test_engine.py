@@ -1,0 +1,439 @@
+"""Tests for the parallel batched sweep engine (repro.analysis.engine)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    FrequencyAnalysis,
+    SourceBank,
+    SweepEngine,
+    TransientAnalysis,
+    bdsm_reduce,
+    dynamic_ir_drop,
+    dynamic_ir_drop_batch,
+    ir_drop_analysis,
+    ir_drop_batch,
+)
+from repro.analysis.engine import _accepts_solver
+from repro.analysis.sources import PulseSource, StepSource
+from repro.exceptions import SimulationError
+from repro.linalg.backends import (
+    FactorizationCache,
+    SolverOptions,
+    default_cache,
+    process_worker_init,
+    set_default_cache,
+    temporary_default_cache,
+)
+
+
+@pytest.fixture(scope="module")
+def bdsm_rom(smoke_benchmark):
+    rom, _, _ = bdsm_reduce(smoke_benchmark, 3)
+    return rom
+
+
+class TestSweepEngineConfig:
+    def test_defaults_are_serial_threads(self):
+        engine = SweepEngine()
+        assert engine.jobs == 1
+        assert engine.executor == "thread"
+        assert engine.resolved_jobs() == 1
+
+    def test_jobs_zero_resolves_to_cpu_count(self):
+        import os
+        assert SweepEngine(jobs=0).resolved_jobs() == (os.cpu_count() or 1)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SimulationError):
+            SweepEngine(jobs=-1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SimulationError):
+            SweepEngine(executor="fiber")
+
+    def test_negative_cache_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            SweepEngine(worker_cache_capacity=-1)
+
+    def test_chunk_bounds_cover_range_contiguously(self):
+        bounds = SweepEngine._chunk_bounds(13, 4)
+        assert bounds[0] == 0 and bounds[-1] == 13
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_empty_grid_rejected(self, rc_grid_system):
+        engine = SweepEngine()
+        with pytest.raises(SimulationError):
+            engine.sample_matrix(rc_grid_system, [])
+        with pytest.raises(SimulationError):
+            engine.sample_entry(rc_grid_system, [], 0, 0)
+
+    def test_pool_persists_across_dispatches_and_closes(self):
+        with SweepEngine(jobs=2) as engine:
+            assert engine._pool is None  # lazy: no dispatch yet
+            engine.map_scenarios(lambda x: x + 1, [1, 2, 3])
+            pool = engine._pool
+            assert pool is not None
+            engine.map_scenarios(lambda x: x * 2, [1, 2, 3])
+            assert engine._pool is pool  # reused, not respawned
+        assert engine._pool is None  # context exit shut it down
+        # the engine stays usable after close()
+        assert engine.map_scenarios(lambda x: -x, [4, 5]) == [-4, -5]
+        engine.close()
+
+
+class TestParallelBitIdentity:
+    """Parallel sweeps must be bit-identical to the serial path."""
+
+    def test_full_matrix_sweep_threads(self, smoke_benchmark, bdsm_rom):
+        serial = FrequencyAnalysis(n_points=13)
+        parallel = FrequencyAnalysis(n_points=13,
+                                     engine=SweepEngine(jobs=3))
+        for system in (smoke_benchmark, bdsm_rom):
+            assert np.array_equal(serial.sweep(system).values,
+                                  parallel.sweep(system).values)
+
+    def test_entry_sweep_threads(self, smoke_benchmark, bdsm_rom):
+        serial = FrequencyAnalysis(n_points=11)
+        parallel = FrequencyAnalysis(n_points=11,
+                                     engine=SweepEngine(jobs=4))
+        for system in (smoke_benchmark, bdsm_rom):
+            assert np.array_equal(
+                serial.sweep_entry(system, 0, 1).values,
+                parallel.sweep_entry(system, 0, 1).values)
+
+    def test_full_matrix_sweep_processes(self, smoke_benchmark):
+        serial = FrequencyAnalysis(n_points=6)
+        parallel = FrequencyAnalysis(
+            n_points=6, engine=SweepEngine(jobs=2, executor="process"))
+        assert np.array_equal(serial.sweep(smoke_benchmark).values,
+                              parallel.sweep(smoke_benchmark).values)
+
+    def test_more_jobs_than_points(self, rc_grid_system):
+        serial = FrequencyAnalysis(n_points=3)
+        parallel = FrequencyAnalysis(n_points=3,
+                                     engine=SweepEngine(jobs=16))
+        assert np.array_equal(serial.sweep(rc_grid_system).values,
+                              parallel.sweep(rc_grid_system).values)
+
+    def test_generic_path_without_transfer_function(self, rc_grid_system):
+        """Systems exposing only C/G/B/L go through the batched solve."""
+        class Bare:
+            pass
+
+        bare = Bare()
+        bare.C, bare.G = rc_grid_system.C, rc_grid_system.G
+        bare.B, bare.L = rc_grid_system.B, rc_grid_system.L
+        serial = FrequencyAnalysis(n_points=8).sweep(bare).values
+        parallel = FrequencyAnalysis(
+            n_points=8, engine=SweepEngine(jobs=3)).sweep(bare).values
+        assert np.array_equal(serial, parallel)
+        # and the generic path agrees with the system's own evaluator
+        own = FrequencyAnalysis(n_points=8).sweep(rc_grid_system).values
+        assert np.allclose(serial, own, rtol=1e-9)
+        # the generic entry sweep (single-column solve) agrees too
+        entry_serial = FrequencyAnalysis(
+            n_points=8).sweep_entry(bare, 0, 1).values
+        entry_parallel = FrequencyAnalysis(
+            n_points=8, engine=SweepEngine(jobs=3)).sweep_entry(
+                bare, 0, 1).values
+        assert np.array_equal(entry_serial, entry_parallel)
+        assert np.allclose(entry_serial, serial[:, 0, 1], rtol=1e-9)
+
+    def test_generic_entry_sweep_accepts_coo_matrices(self, rc_grid_system):
+        """Duck-typed systems may carry non-subscriptable sparse formats
+        (COO); the single-column entry path must handle them like the old
+        full-densify path did."""
+        import scipy.sparse as sp
+
+        class Bare:
+            pass
+
+        bare = Bare()
+        bare.C = sp.coo_matrix(rc_grid_system.C)
+        bare.G = sp.coo_matrix(rc_grid_system.G)
+        bare.B = sp.coo_matrix(rc_grid_system.B)
+        bare.L = sp.coo_matrix(rc_grid_system.L)
+        fa = FrequencyAnalysis(n_points=4)
+        entry = fa.sweep_entry(bare, 0, 1).values
+        full = fa.sweep(bare).values
+        assert np.allclose(entry, full[:, 0, 1], rtol=1e-12)
+
+    def test_worker_caches_leave_default_cache_alone(self, rc_grid_system):
+        """Parallel generic-path workers use per-worker caches, not the
+        default."""
+        class Bare:
+            pass
+
+        bare = Bare()
+        bare.C, bare.G = rc_grid_system.C, rc_grid_system.G
+        bare.B, bare.L = rc_grid_system.B, rc_grid_system.L
+        fa = FrequencyAnalysis(
+            n_points=6, solver=SolverOptions(backend="splu"),
+            engine=SweepEngine(jobs=2))
+        with temporary_default_cache(FactorizationCache(capacity=8)) as cache:
+            fa.sweep(bare)
+            stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_serial_sweep_reuses_default_cache(self, rc_grid_system):
+        """Serial sweeps keep the documented ``set_default_cache`` reuse
+        workflow: a repeated sweep of the same grid hits the cache."""
+        class Bare:
+            pass
+
+        bare = Bare()
+        bare.C, bare.G = rc_grid_system.C, rc_grid_system.G
+        bare.B, bare.L = rc_grid_system.B, rc_grid_system.L
+        fa = FrequencyAnalysis(n_points=5,
+                               solver=SolverOptions(backend="splu"))
+        with temporary_default_cache(
+                FactorizationCache(capacity=16)) as cache:
+            first = fa.sweep(bare)
+            assert cache.stats().misses == 5
+            second = fa.sweep(bare)
+            stats = cache.stats()
+        assert stats.hits == 5
+        assert stats.misses == 5
+        assert np.array_equal(first.values, second.values)
+
+
+class TestMapScenarios:
+    def test_preserves_order(self):
+        engine = SweepEngine(jobs=4)
+        out = engine.map_scenarios(lambda x: x * x, list(range(17)))
+        assert out == [x * x for x in range(17)]
+
+
+class TestAdaptiveSweep:
+    def test_adaptive_compare_matches_exact_where_evaluated(
+            self, smoke_benchmark, bdsm_rom):
+        fa = FrequencyAnalysis(n_points=40)
+        exact = fa.compare(smoke_benchmark, {"BDSM": bdsm_rom},
+                           output=0, port=1)
+        adaptive = fa.compare(smoke_benchmark, {"BDSM": bdsm_rom},
+                              output=0, port=1, adaptive=True,
+                              target_error=1e-4)
+        info = adaptive["adaptive"]
+        mask = info["evaluated"]
+        assert info["n_points"] == 40
+        assert 2 <= info["n_evaluated"] <= 40
+        assert np.array_equal(
+            adaptive["BDSM"]["relative_error"][mask],
+            exact["BDSM"]["relative_error"][mask])
+        assert np.array_equal(
+            adaptive["reference"]["magnitude"][mask],
+            exact["reference"]["magnitude"][mask])
+
+    def test_adaptive_saves_factorizations_on_accurate_rom(
+            self, smoke_benchmark, bdsm_rom):
+        fa = FrequencyAnalysis(n_points=48)
+        report = fa.compare(smoke_benchmark, {"BDSM": bdsm_rom},
+                            output=0, port=1, adaptive=True,
+                            target_error=1.0)
+        info = report["adaptive"]
+        assert info["n_evaluated"] < info["n_points"]
+        assert info["evaluations_saved"] > 0
+
+    def test_interpolated_error_close_to_exact(self, smoke_benchmark,
+                                               bdsm_rom):
+        fa = FrequencyAnalysis(n_points=40)
+        exact = fa.compare(smoke_benchmark, {"BDSM": bdsm_rom},
+                           output=0, port=1)["BDSM"]["relative_error"]
+        adaptive = fa.compare(smoke_benchmark, {"BDSM": bdsm_rom},
+                              output=0, port=1, adaptive=True,
+                              target_error=1e-4)["BDSM"]["relative_error"]
+        # Interpolated estimates may deviate, but never by orders of
+        # magnitude near or above the target accuracy.
+        above = exact > 1e-5
+        if np.any(above):
+            ratio = adaptive[above] / exact[above]
+            assert np.all((ratio > 0.1) & (ratio < 10.0))
+
+    def test_bad_target_error_rejected(self, smoke_benchmark, bdsm_rom):
+        fa = FrequencyAnalysis(n_points=8)
+        with pytest.raises(SimulationError):
+            fa.compare(smoke_benchmark, {"BDSM": bdsm_rom}, output=0,
+                       port=1, adaptive=True, target_error=0.0)
+
+    def test_adaptive_engine_api_direct(self, smoke_benchmark, bdsm_rom):
+        engine = SweepEngine(jobs=2)
+        omegas = np.logspace(5, 10, 24)
+        result = engine.adaptive_entry_sweep(
+            smoke_benchmark, {"rom": bdsm_rom}, omegas, 0, 1,
+            target_error=1e-3)
+        assert result.omegas.shape == (24,)
+        assert result.reference.shape == (24,)
+        assert result.candidates["rom"].shape == (24,)
+        assert result.evaluated.dtype == bool
+        assert result.n_evaluated == int(result.evaluated.sum())
+
+
+class TestTransientBatch:
+    @pytest.fixture()
+    def banks(self, rc_grid_system):
+        m = rc_grid_system.B.shape[1]
+        return [SourceBank.uniform(m, StepSource(1e-3)),
+                SourceBank.uniform(m, PulseSource(1e-3, 4e-6, 2e-6)),
+                SourceBank.uniform(m, StepSource(-5e-4))]
+
+    @staticmethod
+    def _assert_machine_close(a: np.ndarray, b: np.ndarray) -> None:
+        """Stacked block kernels reassociate sums: allow last-ULP jitter."""
+        scale = max(float(np.max(np.abs(a))), 1e-300)
+        assert np.allclose(a, b, rtol=1e-12, atol=1e-12 * scale)
+
+    def test_stacked_batch_matches_individual_runs(self, rc_grid_system,
+                                                   banks):
+        ta = TransientAnalysis(t_stop=1e-5, dt=1e-6)
+        singles = [ta.run(rc_grid_system, bank) for bank in banks]
+        batch = ta.run_batch(rc_grid_system, banks)
+        assert len(batch) == len(banks)
+        for single, batched in zip(singles, batch):
+            self._assert_machine_close(single.outputs, batched.outputs)
+
+    def test_pooled_batch_matches_individual_runs(self, rc_grid_system,
+                                                  banks):
+        ta = TransientAnalysis(t_stop=1e-5, dt=1e-6)
+        singles = [ta.run(rc_grid_system, bank) for bank in banks]
+        pooled = ta.run_batch(rc_grid_system, banks, mode="pooled",
+                              engine=SweepEngine(jobs=2))
+        for single, batched in zip(singles, pooled):
+            assert np.array_equal(single.outputs, batched.outputs)
+
+    def test_pooled_batch_shares_pencil_factorization(self, rc_grid_system,
+                                                      banks):
+        """The stepping pencil is factorized once (parent warm-up), not
+        once per concurrently started worker."""
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        with temporary_default_cache(FactorizationCache(capacity=4)) as cache:
+            ta.run_batch(rc_grid_system, banks, mode="pooled",
+                         engine=SweepEngine(jobs=2))
+            stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits >= len(banks)
+
+    def test_trapezoidal_batch(self, rc_grid_system, banks):
+        ta = TransientAnalysis(t_stop=1e-5, dt=1e-6, method="trapezoidal")
+        singles = [ta.run(rc_grid_system, bank) for bank in banks]
+        batch = ta.run_batch(rc_grid_system, banks)
+        for single, batched in zip(singles, batch):
+            self._assert_machine_close(single.outputs, batched.outputs)
+
+    def test_batch_with_states_and_x0(self, rc_grid_system, banks):
+        n = rc_grid_system.size
+        x0 = np.linspace(0.0, 1e-3, n)
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6, store_states=True)
+        single = ta.run(rc_grid_system, banks[0], x0=x0)
+        batch = ta.run_batch(rc_grid_system, banks[:2], x0s=[x0, None])
+        self._assert_machine_close(single.states, batch[0].states)
+        assert batch[1].states is not None
+
+    def test_batch_labels(self, rc_grid_system, banks):
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        batch = ta.run_batch(rc_grid_system, banks[:2],
+                             labels=["fast", None])
+        assert batch[0].label == "fast"
+        assert batch[1].label == rc_grid_system.name
+
+    def test_empty_batch_rejected(self, rc_grid_system):
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        with pytest.raises(SimulationError):
+            ta.run_batch(rc_grid_system, [])
+
+    def test_mismatched_lengths_rejected(self, rc_grid_system, banks):
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        with pytest.raises(SimulationError):
+            ta.run_batch(rc_grid_system, banks, x0s=[None])
+
+    def test_unknown_mode_rejected(self, rc_grid_system, banks):
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        with pytest.raises(SimulationError):
+            ta.run_batch(rc_grid_system, banks, mode="magic")
+
+    def test_port_mismatch_rejected(self, rc_grid_system):
+        ta = TransientAnalysis(t_stop=5e-6, dt=1e-6)
+        with pytest.raises(SimulationError):
+            ta.run_batch(rc_grid_system,
+                         [SourceBank.uniform(1, StepSource(1e-3))])
+
+
+class TestIrDropBatch:
+    def test_batch_matches_individual_solves(self, rc_grid_system):
+        m = rc_grid_system.B.shape[1]
+        base = np.linspace(1e-3, 2e-3, m)
+        scenarios = np.vstack([base, 2.0 * base, 0.25 * base])
+        batch = ir_drop_batch(rc_grid_system, scenarios)
+        assert len(batch) == 3
+        for j in range(3):
+            single = ir_drop_analysis(rc_grid_system, scenarios[j])
+            assert np.allclose(batch[j].voltages, single.voltages,
+                               rtol=1e-12, atol=1e-15)
+
+    def test_single_vector_accepted(self, rc_grid_system):
+        m = rc_grid_system.B.shape[1]
+        batch = ir_drop_batch(rc_grid_system, np.full(m, 1e-3))
+        assert len(batch) == 1
+
+    def test_wrong_width_rejected(self, rc_grid_system):
+        with pytest.raises(SimulationError):
+            ir_drop_batch(rc_grid_system, np.ones((2, 3)))
+
+    def test_empty_batch_rejected(self, rc_grid_system):
+        m = rc_grid_system.B.shape[1]
+        with pytest.raises(SimulationError):
+            ir_drop_batch(rc_grid_system, np.empty((0, m)))
+
+    def test_dynamic_batch_matches_individual(self, rc_grid_system):
+        m = rc_grid_system.B.shape[1]
+        banks = [SourceBank.uniform(m, StepSource(1e-3)),
+                 SourceBank.uniform(m, StepSource(2e-3))]
+        stacked = dynamic_ir_drop_batch(rc_grid_system, banks,
+                                        t_stop=1e-5, dt=1e-6)
+        pooled = dynamic_ir_drop_batch(rc_grid_system, banks,
+                                       t_stop=1e-5, dt=1e-6, mode="pooled")
+        for bank, st, po in zip(banks, stacked, pooled):
+            single = dynamic_ir_drop(rc_grid_system, bank,
+                                     t_stop=1e-5, dt=1e-6)
+            # pooled runs the plain integrator: bit-identical
+            assert np.array_equal(po.voltages, single.voltages)
+            scale = max(float(np.max(np.abs(single.voltages))), 1e-300)
+            assert np.allclose(st.voltages, single.voltages,
+                               rtol=1e-12, atol=1e-12 * scale)
+
+
+class TestProcessWorkerPlumbing:
+    def test_solver_options_pickle_round_trip(self):
+        opts = SolverOptions(backend="cg", tol=1e-10, max_iterations=123,
+                             preconditioner="ilu", use_cache=False)
+        clone = pickle.loads(pickle.dumps(opts))
+        assert clone == opts
+
+    def test_process_worker_init_installs_fresh_cache(self):
+        before = default_cache()
+        try:
+            process_worker_init(capacity=5)
+            installed = default_cache()
+            assert installed is not before
+            assert installed.capacity == 5
+            assert len(installed) == 0
+        finally:
+            set_default_cache(before)
+
+    def test_accepts_solver_memoized_per_function(self):
+        def probe(x, *, solver=None):
+            return x
+
+        import repro.analysis.engine as engine_mod
+        real = engine_mod._accepts_solver_uncached
+        assert _accepts_solver(probe)  # prime
+        # A second call must be served from the lru cache.
+        info_before = real.cache_info()
+        assert _accepts_solver(probe)
+        info_after = real.cache_info()
+        assert info_after.hits == info_before.hits + 1
+        assert info_after.misses == info_before.misses

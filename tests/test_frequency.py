@@ -1,5 +1,7 @@
 """Unit tests for repro.analysis.frequency."""
 
+import inspect
+
 import numpy as np
 import pytest
 
@@ -52,6 +54,37 @@ class TestSweeps:
         with pytest.raises(SimulationError):
             b.relative_error_to(a)
 
+    def test_relative_error_different_grids_rejected(self, rc_grid_system):
+        a = FrequencyAnalysis(omega_min=1e6, omega_max=1e10,
+                              n_points=4).sweep_entry(rc_grid_system, 0, 0)
+        b = FrequencyAnalysis(omega_min=1e5, omega_max=1e9,
+                              n_points=4).sweep_entry(rc_grid_system, 0, 0)
+        with pytest.raises(SimulationError, match="frequency grids"):
+            a.relative_error_to(b)
+
+    def test_relative_error_floor_handles_zero_reference(self):
+        from repro.analysis import FrequencySweepResult
+        omegas = np.array([1.0, 10.0])
+        zero_ref = FrequencySweepResult(omegas=omegas,
+                                        values=np.zeros(2, dtype=complex),
+                                        output=0, port=0)
+        other = FrequencySweepResult(omegas=omegas,
+                                     values=np.ones(2, dtype=complex),
+                                     output=0, port=0)
+        err = other.relative_error_to(zero_ref, floor=1e-6)
+        assert np.all(np.isfinite(err))
+        assert np.allclose(err, 1e6)
+
+    def test_full_matrix_relative_error_is_worst_entry(self, rc_grid_system):
+        fa = FrequencyAnalysis(omega_min=1e6, omega_max=1e10, n_points=3)
+        full = fa.sweep(rc_grid_system)
+        perturbed = fa.sweep(rc_grid_system)
+        perturbed.values = perturbed.values.copy()
+        perturbed.values[1, 0, 0] *= 1.5
+        err = perturbed.relative_error_to(full)
+        assert err.shape == (3,)
+        assert err[1] == pytest.approx(0.5)
+
     def test_entry_extraction_errors(self, rc_grid_system):
         fa = FrequencyAnalysis(omega_min=1e6, omega_max=1e10, n_points=3)
         single = fa.sweep_entry(rc_grid_system, 0, 0)
@@ -80,3 +113,53 @@ class TestCompare:
         reduced = fa.sweep_entry(rom, 0, 0)
         err = reduced.relative_error_to(full)
         assert np.max(err) < 1e-6
+
+
+class TestHotPathRegressions:
+    def test_signature_not_probed_per_point(self, rc_grid_system,
+                                            monkeypatch):
+        """The ``solver`` keyword probe is memoized, not re-inspected on
+        every frequency point of every sweep."""
+        import repro.analysis.engine as engine_mod
+        from repro.linalg.backends import SolverOptions
+
+        calls = {"n": 0}
+        real_signature = inspect.signature
+
+        def counting_signature(fn, *args, **kwargs):
+            calls["n"] += 1
+            return real_signature(fn, *args, **kwargs)
+
+        monkeypatch.setattr(inspect, "signature", counting_signature)
+        engine_mod._accepts_solver_uncached.cache_clear()
+        fa = FrequencyAnalysis(omega_min=1e6, omega_max=1e10, n_points=9,
+                               solver=SolverOptions(backend="splu",
+                                                    use_cache=False))
+        fa.sweep(rc_grid_system)
+        fa.sweep_entry(rc_grid_system, 0, 0)
+        # one probe per distinct evaluator function, not one per point
+        assert calls["n"] <= 2
+
+    def test_rhs_densified_once_per_sweep(self, rc_grid_system):
+        """The generic sweep path converts ``B`` to dense once, not once
+        per frequency point."""
+        calls = {"n": 0}
+        dense_B = rc_grid_system.B.toarray()
+
+        class CountingB:
+            shape = rc_grid_system.B.shape
+
+            def toarray(self):
+                calls["n"] += 1
+                return dense_B.copy()
+
+        class Bare:
+            C = rc_grid_system.C
+            G = rc_grid_system.G
+            L = rc_grid_system.L
+            B = CountingB()
+
+        fa = FrequencyAnalysis(omega_min=1e6, omega_max=1e10, n_points=7)
+        sweep = fa.sweep(Bare())
+        assert sweep.values.shape[0] == 7
+        assert calls["n"] == 1

@@ -1,9 +1,11 @@
 """Unit tests for repro.analysis.ir_drop."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.analysis import ir_drop_analysis
+from repro.analysis import IRDropResult, ir_drop_analysis
 from repro.analysis.ir_drop import dynamic_ir_drop
 from repro.analysis.sources import SourceBank, StepSource
 from repro.circuit import Netlist, assemble_mna
@@ -49,6 +51,37 @@ class TestStaticIrDrop:
         rows = result.as_table()
         assert len(rows) == rc_grid_system.n_outputs
         assert {"node", "drop_volts", "drop_percent"} <= set(rows[0])
+
+
+class TestIrDropResultEdgeCases:
+    def test_worst_with_empty_node_names(self):
+        result = IRDropResult(node_names=[],
+                              voltages=np.array([-0.1, -0.3, -0.2]))
+        name, drop = result.worst()
+        assert name == "output1"
+        assert drop == pytest.approx(0.3)
+
+    def test_as_table_with_empty_node_names(self):
+        result = IRDropResult(node_names=[],
+                              voltages=np.array([-0.05, 0.02]))
+        rows = result.as_table()
+        assert [row["node"] for row in rows] == ["output0", "output1"]
+        assert rows[1]["drop_volts"] == 0.0  # positive deviation: no sag
+
+    def test_as_table_with_zero_reference_voltage(self):
+        result = IRDropResult(node_names=["a"],
+                              voltages=np.array([-0.1]),
+                              reference_voltage=0.0)
+        rows = result.as_table()
+        assert rows[0]["drop_volts"] == pytest.approx(0.1)
+        assert math.isnan(rows[0]["drop_percent"])
+
+    def test_worst_on_all_positive_voltages_reports_zero_drop(self):
+        result = IRDropResult(node_names=["a", "b"],
+                              voltages=np.array([0.2, 0.1]))
+        name, drop = result.worst()
+        assert drop == 0.0
+        assert name in ("a", "b")
 
 
 class TestDynamicIrDrop:

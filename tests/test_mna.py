@@ -131,3 +131,19 @@ class TestDescriptorSystemInterface:
         net.add_capacitor("C1", "a", "0", 1e-12)
         with pytest.raises(Exception):
             assemble_mna(net)
+
+    def test_transfer_paths_avoid_matrix_producing_todense(
+            self, rc_grid_system, monkeypatch):
+        """Hot paths use ``.toarray()`` (ndarray), never ``.todense()``
+        (``np.matrix``); regression for the deprecated-API sweep."""
+        import scipy.sparse as sp
+
+        def banned(self, *args, **kwargs):
+            raise AssertionError(".todense() called in a hot path")
+
+        monkeypatch.setattr(sp.spmatrix, "todense", banned)
+        H = rc_grid_system.transfer_function(1j * 1e7)
+        assert type(H) is np.ndarray
+        entry = rc_grid_system.transfer_entry(1j * 1e7, 0, 1)
+        assert isinstance(entry, complex)
+        assert entry == pytest.approx(H[0, 1])
