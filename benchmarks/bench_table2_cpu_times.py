@@ -52,6 +52,7 @@ from repro.circuit.benchmarks import BENCHMARKS
 from repro.io import write_table
 from repro.linalg import FactorizationCache, temporary_default_cache
 from repro.mor import ReductionSummary, ResourceBudget
+from repro.store import ModelStore
 
 ALPHA = 0.6
 
@@ -261,6 +262,72 @@ def test_transient_warm_cache_speedup(benchmark, systems):
     print(f"\nwarm-cache transient: cold={cold_seconds:.4f}s "
           f"warm={warm_best:.4f}s speedup={record['speedup']:.1f}x "
           f"hit_rate={stats.hit_rate:.0%}")
+
+
+def test_model_store_cold_vs_warm(benchmark, systems, tmp_path):
+    """A warm model store must serve a ROM faster than re-reducing it.
+
+    The cold run pays the full Algorithm 1 reduction and saves the artifact;
+    every warm run (best of three, timed by pytest-benchmark) only pays the
+    artifact load — this is the cross-process analogue of the factorization
+    cache measured above, and the reduce-once/query-forever story of the
+    paper's reusability argument.  The served ROM must reproduce the cold
+    ROM's transfer samples bit-identically, and the cold/warm timings are
+    appended to ``benchmarks/results/model_store.json`` so the speedup
+    trajectory is tracked across commits.
+    """
+    system = systems["ckt1"]
+    n_moments = BENCHMARKS["ckt1"].matched_moments
+    store = ModelStore(tmp_path / "store")
+
+    start = time.perf_counter()
+    rom_cold, _, _ = bdsm_reduce(system, n_moments, store=store)
+    cold_seconds = time.perf_counter() - start
+
+    rom_warm = benchmark.pedantic(
+        lambda: bdsm_reduce(system, n_moments, store=store)[0],
+        rounds=3, iterations=1)
+    warm_best = float(benchmark.stats.stats.min)
+    stats = store.stats()
+
+    # Correctness first: the stored ROM must be the same model, bit for bit.
+    omegas = np.logspace(5, 9, 5)
+    for omega in omegas:
+        assert np.array_equal(rom_warm.transfer_function(1j * omega),
+                              rom_cold.transfer_function(1j * omega))
+    assert stats.hits >= 3, "warm runs must be served from the store"
+    assert stats.misses == 1 and stats.puts == 1
+    assert warm_best < cold_seconds, (
+        f"warm store load ({warm_best:.4f}s) not faster than cold "
+        f"reduction ({cold_seconds:.4f}s) despite {stats.hits} store hits")
+
+    record = {
+        "timestamp": time.time(),
+        "scale": _SCALE,
+        "circuit": system.name,
+        "nodes": system.size,
+        "ports": system.n_ports,
+        "n_moments": n_moments,
+        "rom_size": rom_cold.size,
+        "artifact_bytes": store.total_bytes(),
+        "cold_reduce_seconds": cold_seconds,
+        "warm_load_seconds_best": warm_best,
+        "speedup": cold_seconds / warm_best,
+        "store_hits": stats.hits,
+        "store_misses": stats.misses,
+    }
+    path = results_path("model_store.json")
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\nmodel store: cold={cold_seconds:.4f}s warm={warm_best:.4f}s "
+          f"speedup={record['speedup']:.1f}x "
+          f"({stats.hits} hits, {store.total_bytes()} artifact bytes)")
 
 
 def test_parallel_sweep_speedup(benchmark):

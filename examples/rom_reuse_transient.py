@@ -1,17 +1,20 @@
-"""ROM reusability: one BDSM model, many excitations — versus EKS.
+"""ROM reusability: reduce once in one process, reuse everywhere.
 
-The paper's central practical argument against EKS/TBS is that their ROMs
-are built *for one specific excitation* and must be rebuilt whenever the
-input pattern changes, while BDSM ROMs are input-independent and can be
-reused.  This script demonstrates exactly that with transient simulations:
+The paper's central practical argument is that the BDSM ROM is
+*input-independent*: build it once, then reuse it for any excitation —
+unlike EKS/TBS ROMs, which are built for one specific input pattern.  This
+script demonstrates both halves of that story, now through the persistent
+model store:
 
-1. build one BDSM ROM and one EKS ROM (EKS assumes all ports switch
-   together, the same assumption as in the paper's experiments),
-2. drive the grid with three different excitation patterns,
-3. compare each ROM's transient output against the full model.
-
-The BDSM ROM stays accurate for every pattern; the EKS ROM is only accurate
-for the pattern it was built for.
+1. a **producer phase** reduces the grid with BDSM *through a
+   :class:`repro.ModelStore`*, so the ROM lands on disk as a fingerprinted
+   artifact (``repro reduce --store DIR`` does the same from the CLI);
+2. a **consumer process** — genuinely a separate Python process, spawned
+   below — reloads the ROM from the store *without re-reducing* (a store
+   hit) and runs transient simulations under three different excitation
+   patterns, comparing against the full model;
+3. an EKS ROM built alongside shows the contrast: accurate only for the
+   excitation it was built for, and not worth persisting at all.
 
 Run with::
 
@@ -20,9 +23,16 @@ Run with::
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro import (
+    ModelStore,
     SourceBank,
     TransientAnalysis,
     bdsm_reduce,
@@ -30,6 +40,8 @@ from repro import (
     make_benchmark,
 )
 from repro.analysis.sources import PulseSource, StepSource
+
+N_MOMENTS = 6
 
 
 def excitation_patterns(n_ports: int) -> dict[str, SourceBank]:
@@ -51,28 +63,62 @@ def excitation_patterns(n_ports: int) -> dict[str, SourceBank]:
     }
 
 
-def main() -> None:
+def consume(store_dir: str) -> None:
+    """Consumer process: load the ROM from the store and run transients.
+
+    Note what does NOT happen here: no reduction.  ``bdsm_reduce`` with the
+    same system content and options hits the store and returns the ROM that
+    some *other* process built.
+    """
     system = make_benchmark("ckt1", scale="smoke")
-    print(f"benchmark: {system.name}  "
-          f"(n={system.size}, m={system.n_ports})\n")
+    store = ModelStore(store_dir, create=False)
+    bdsm_rom, _, load_seconds = bdsm_reduce(system, N_MOMENTS, store=store)
+    stats = store.stats()
+    assert stats.hits == 1, "consumer must be served from the store"
+    print(f"[consumer pid={os.getpid()}] "
+          f"store hit: loaded ROM (size {bdsm_rom.size}) in "
+          f"{load_seconds * 1e3:.1f} ms — no reduction ran")
 
-    bdsm_rom, _, _ = bdsm_reduce(system, n_moments=6)
-    eks_rom, _, _ = eks_reduce(system, n_moments=6)   # assumes uniform inputs
-    print(f"BDSM ROM size {bdsm_rom.size} (reusable), "
-          f"EKS ROM size {eks_rom.size} (built for one excitation)\n")
-
+    eks_rom, _, _ = eks_reduce(system, N_MOMENTS)  # assumes uniform inputs
     transient = TransientAnalysis(t_stop=4e-9, dt=2e-11)
     print(f"{'excitation pattern':<40} {'BDSM error':>12} {'EKS error':>12}")
     for label, bank in excitation_patterns(system.n_ports).items():
         full = transient.run(system, bank)
         scale = max(float(np.max(np.abs(full.outputs))), 1e-15)
-        err_bdsm = transient.run(bdsm_rom, bank).max_abs_error_to(full) / scale
+        err_bdsm = (transient.run(bdsm_rom, bank).max_abs_error_to(full)
+                    / scale)
         err_eks = transient.run(eks_rom, bank).max_abs_error_to(full) / scale
         print(f"{label:<40} {err_bdsm:>12.2e} {err_eks:>12.2e}")
 
-    print("\nThe BDSM ROM tracks the full model for every pattern; the EKS "
-          "ROM degrades as soon as the excitation deviates from the one it "
-          "was built for, which is why the paper calls it non-reusable.")
+
+def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--consume":
+        consume(sys.argv[2])
+        return
+
+    system = make_benchmark("ckt1", scale="smoke")
+    print(f"benchmark: {system.name}  "
+          f"(n={system.size}, m={system.n_ports})\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = str(Path(tmp) / "rom-store")
+        store = ModelStore(store_dir)
+        bdsm_rom, _, seconds = bdsm_reduce(system, N_MOMENTS, store=store)
+        assert store.stats().puts == 1
+        print(f"[producer] reduced once in {seconds * 1e3:.1f} ms; ROM "
+              f"(size {bdsm_rom.size}, reusable) saved to the store\n")
+
+        # A genuinely fresh process now reuses the stored ROM: this is the
+        # reduce-once / query-forever deployment the paper argues for.
+        subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()),
+             "--consume", store_dir],
+            check=True)
+
+    print("\nThe BDSM ROM — built in another process — tracks the full "
+          "model for every pattern; the EKS ROM degrades as soon as the "
+          "excitation deviates from the one it was built for, which is why "
+          "the paper calls it non-reusable.")
 
 
 if __name__ == "__main__":

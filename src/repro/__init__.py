@@ -85,6 +85,14 @@ from repro.passivity import (
     hamiltonian_passivity_test,
     laguerre_passivity_scan,
 )
+from repro.store import (
+    ModelServer,
+    ModelStore,
+    QueryRequest,
+    StoreStats,
+    load_artifact,
+    save_artifact,
+)
 from repro.validation import (
     count_matched_moments,
     max_relative_error,
@@ -104,10 +112,13 @@ __all__ = [
     "FrequencyAnalysis",
     "FrequencySweepResult",
     "IRDropResult",
+    "ModelServer",
+    "ModelStore",
     "Netlist",
     "NetlistParseError",
     "PassivityError",
     "PowerGridSpec",
+    "QueryRequest",
     "ReducedSystem",
     "ReductionError",
     "ReductionSummary",
@@ -120,6 +131,7 @@ __all__ = [
     "SolverOptions",
     "SourceBank",
     "StampingError",
+    "StoreStats",
     "SweepEngine",
     "TransientAnalysis",
     "TransientResult",
@@ -141,6 +153,7 @@ __all__ = [
     "ir_drop_analysis",
     "ir_drop_batch",
     "laguerre_passivity_scan",
+    "load_artifact",
     "make_benchmark",
     "max_relative_error",
     "multipoint_bdsm_reduce",
@@ -151,6 +164,7 @@ __all__ = [
     "prima_reduce",
     "relative_error_curve",
     "rom_structure_report",
+    "save_artifact",
     "svdmor_reduce",
     "verify_moment_matching",
     "write_netlist",

@@ -17,7 +17,8 @@ across a worker pool with bit-identical results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -186,6 +187,23 @@ class FrequencyAnalysis:
             omegas=self.omegas, values=values, output=output, port=port,
             label=label or getattr(system, "name", ""))
 
+    def sweep_many(self, systems: Mapping[str, object],
+                   ) -> dict[str, "FrequencySweepResult"]:
+        """Full-matrix sweeps of several models, fanned across the engine.
+
+        Each model is swept serially inside a worker (nesting parallel
+        dispatches of one engine would risk pool starvation); with an
+        engine of ``jobs >= 2`` the *models* run concurrently, which is the
+        shape a model-serving front end needs — many small ROMs, one sweep
+        each.  Results are keyed like ``systems`` and each is identical to
+        a standalone :meth:`sweep` of that model.
+        """
+        labels = list(systems)
+        serial = replace(self, engine=None)
+        tasks = [(serial, systems[label], label) for label in labels]
+        results = self._engine().map_scenarios(_sweep_one_model, tasks)
+        return dict(zip(labels, results))
+
     def compare(self, reference, candidates: dict, *, output: int,
                 port: int, adaptive: bool = False,
                 target_error: float = 1e-3,
@@ -263,3 +281,10 @@ class FrequencyAnalysis:
     def _evaluate(self, system, s: complex) -> np.ndarray:
         return self._engine().sample_matrix(system, [s],
                                             solver=self.solver)[0]
+
+
+def _sweep_one_model(task) -> FrequencySweepResult:
+    """Pool kernel for :meth:`FrequencyAnalysis.sweep_many` (module-level so
+    process pools can pickle it)."""
+    analysis, system, label = task
+    return analysis.sweep(system, label=label)

@@ -14,6 +14,21 @@ script:
     Print the Fig. 5 style frequency sweep (full model vs BDSM and PRIMA)
     for one transfer-matrix entry.
 
+``python -m repro reduce --store runs/store``
+    Same reduction, but memoized through a persistent
+    :class:`~repro.store.ModelStore`: the first run saves the ROM, every
+    later run (in any process) loads it instead of re-reducing.  Add
+    ``--from-store`` to *require* a hit, or ``--save rom.npz`` to export
+    the ROM as a standalone artifact.
+
+``python -m repro store list --store runs/store``
+    Inspect (``list``/``stats``) or empty (``clear``) a model store.
+
+``python -m repro query --store runs/store --benchmark ckt1 --method bdsm``
+    Serve transfer-function samples from a previously stored ROM through
+    the :class:`~repro.store.ModelServer` — no reduction happens; a missing
+    entry is a clean error telling you to populate the store first.
+
 All commands accept ``--scale smoke|laptop|paper`` (default ``smoke`` so the
 CLI responds in seconds).  ``reduce`` and ``sweep`` additionally accept
 ``--solver`` (a backend name from :mod:`repro.linalg.backends`, ``auto`` by
@@ -21,7 +36,8 @@ default) and ``--no-solver-cache`` to disable factorization reuse; a cache
 hit/miss summary is printed after each run.  ``sweep`` also accepts
 ``--jobs N`` to fan frequency points across N workers (bit-identical to the
 serial sweep) and ``--adaptive``/``--target-error`` to refine the grid
-adaptively instead of sweeping it densely.
+adaptively instead of sweeping it densely.  ``repro --version`` prints the
+package version.
 """
 
 from __future__ import annotations
@@ -35,30 +51,51 @@ import numpy as np
 from repro import (
     BDSMOptions,
     FrequencyAnalysis,
+    ModelServer,
+    ModelStore,
     ReproError,
     SolverOptions,
     SweepEngine,
+    __version__,
     bdsm_reduce,
     eks_reduce,
     make_benchmark,
     max_relative_error,
     prima_reduce,
+    save_artifact,
     svdmor_reduce,
 )
 from repro.circuit.benchmarks import BENCHMARKS, SCALES
+from repro.core.bdsm import bdsm_store_options
+from repro.exceptions import ValidationError
+from repro.mor.prima import prima_store_options
 from repro.io import format_table
 from repro.linalg import available_backends, default_cache
 
 __all__ = ["main", "build_parser"]
 
 _REDUCERS = {
-    "bdsm": lambda system, l, solver: bdsm_reduce(
-        system, l, options=BDSMOptions(solver=solver)),
-    "prima": lambda system, l, solver: prima_reduce(system, l, solver=solver),
-    "svdmor": lambda system, l, solver: svdmor_reduce(system, l, alpha=0.6,
-                                                      solver=solver),
-    "eks": lambda system, l, solver: eks_reduce(system, l, solver=solver),
+    "bdsm": lambda system, l, solver, store=None: bdsm_reduce(
+        system, l, options=BDSMOptions(solver=solver), store=store),
+    "prima": lambda system, l, solver, store=None: prima_reduce(
+        system, l, solver=solver, store=store),
+    "svdmor": lambda system, l, solver, store=None: svdmor_reduce(
+        system, l, alpha=0.6, solver=solver),
+    "eks": lambda system, l, solver, store=None: eks_reduce(
+        system, l, solver=solver),
 }
+
+#: Methods whose reductions the model store can memoize, each mapped to its
+#: reducer's canonical store-key builder so CLI pre-checks (`--from-store`,
+#: `query`) can never drift from the key the reducer actually uses.
+_STORABLE_METHODS = {
+    "bdsm": bdsm_store_options,
+    "prima": prima_store_options,
+}
+
+
+def _store_options(method: str, moments: int) -> dict:
+    return _STORABLE_METHODS[method](moments)
 
 #: Choices of the ``--solver`` flag (registry backends plus the selectors).
 _SOLVER_CHOICES = ("auto", "iterative", *available_backends())
@@ -81,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BDSM power-grid model reduction (DATE 2011 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("benchmarks",
@@ -99,6 +138,41 @@ def build_parser() -> argparse.ArgumentParser:
                             help="linear-solver backend for pencil solves")
     reduce_cmd.add_argument("--no-solver-cache", action="store_true",
                             help="disable the factorization cache")
+    reduce_cmd.add_argument("--save", metavar="PATH", default=None,
+                            help="export the ROM as a standalone .npz "
+                                 "artifact after reducing")
+    reduce_cmd.add_argument("--store", metavar="DIR", default=None,
+                            help="memoize the reduction through a "
+                                 "persistent model store at DIR "
+                                 "(bdsm/prima only)")
+    reduce_cmd.add_argument("--from-store", action="store_true",
+                            help="require a store hit: fail cleanly "
+                                 "instead of reducing on a miss")
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect or clear a persistent model store")
+    store_cmd.add_argument("action", choices=("list", "stats", "clear"))
+    store_cmd.add_argument("--store", metavar="DIR", required=True,
+                           help="model store directory")
+
+    query_cmd = sub.add_parser(
+        "query", help="serve transfer samples from a stored ROM "
+                      "(no reduction)")
+    query_cmd.add_argument("--store", metavar="DIR", required=True,
+                           help="model store directory")
+    query_cmd.add_argument("--benchmark", default="ckt1",
+                           choices=sorted(BENCHMARKS))
+    query_cmd.add_argument("--method", default="bdsm",
+                           choices=sorted(_STORABLE_METHODS))
+    query_cmd.add_argument("--moments", type=int, default=6)
+    query_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+    query_cmd.add_argument("--output", type=int, default=1,
+                           help="1-based output index (paper style)")
+    query_cmd.add_argument("--port", type=int, default=1,
+                           help="1-based input port index (paper style)")
+    query_cmd.add_argument("--points", type=int, default=9)
+    query_cmd.add_argument("--jobs", type=int, default=1,
+                           help="sweep workers inside the model server")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="frequency sweep of one transfer-matrix entry")
@@ -147,7 +221,28 @@ def _cmd_benchmarks() -> int:
 def _cmd_reduce(args: argparse.Namespace) -> int:
     system = make_benchmark(args.benchmark, scale=args.scale)
     solver = _solver_options(args)
-    rom, stats, seconds = _REDUCERS[args.method](system, args.moments, solver)
+    store = None
+    if args.store is not None:
+        if args.method not in _STORABLE_METHODS:
+            raise ValidationError(
+                f"--store only memoizes {'/'.join(_STORABLE_METHODS)} "
+                f"reductions, not {args.method}")
+        # --from-store must not create an empty directory just to miss in it.
+        store = ModelStore(args.store, create=not args.from_store)
+        if args.from_store:
+            key = store.key_for(system, args.method.upper(),
+                                _store_options(args.method, args.moments))
+            if not store.contains(key):
+                raise ValidationError(
+                    f"store {args.store} has no entry for "
+                    f"{args.benchmark}/{args.method} with "
+                    f"--moments {args.moments} at --scale {args.scale}; "
+                    "run the same command without --from-store to "
+                    "populate it")
+    elif args.from_store:
+        raise ValidationError("--from-store requires --store DIR")
+    rom, stats, seconds = _REDUCERS[args.method](system, args.moments,
+                                                 solver, store)
     omegas = np.logspace(5, 9, 5)
     row = {
         "benchmark": system.name,
@@ -164,7 +259,80 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         "reusable": "yes" if rom.reusable else "no",
     }
     print(format_table([row], title="reduction summary"))
+    if args.save is not None:
+        path = save_artifact(rom, args.save)
+        print(f"ROM artifact saved to {path}")
+    if store is not None:
+        _print_store_summary(store)
     _print_cache_summary()
+    return 0
+
+
+def _print_store_summary(store: ModelStore) -> None:
+    stats = store.stats()
+    outcome = "hit (reduction skipped)" if stats.hits else "miss (ROM saved)"
+    print(f"model store: {outcome}  hits={stats.hits} "
+          f"misses={stats.misses} evictions={stats.evictions}")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ModelStore(args.store, create=False)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {args.store}")
+        return 0
+    entries = store.entries()
+    if args.action == "stats":
+        print(f"store {args.store}: {len(entries)} entries, "
+              f"{store.total_bytes()} bytes")
+        return 0
+    if not entries:
+        print(f"store {args.store} is empty")
+        return 0
+    rows = [{
+        "key": entry.key[:12],
+        "system": entry.system_name,
+        "method": entry.method,
+        "kind": entry.meta.get("kind", "?"),
+        "ROM size": entry.meta.get("rom_size"),
+        "bytes": entry.n_bytes,
+    } for entry in reversed(entries)]
+    print(format_table(rows, title=f"model store {args.store}"))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.output < 1 or args.port < 1:
+        print("error: --output and --port are 1-based indices",
+              file=sys.stderr)
+        return 2
+    store = ModelStore(args.store, create=False)
+    system = make_benchmark(args.benchmark, scale=args.scale)
+    key = store.key_for(system, args.method.upper(),
+                        _store_options(args.method, args.moments))
+    if not store.contains(key):
+        raise ValidationError(
+            f"store {args.store} has no ROM for {args.benchmark}/"
+            f"{args.method} with --moments {args.moments} at --scale "
+            f"{args.scale}; populate it with `repro reduce --store "
+            f"{args.store} ...` first")
+    if args.output > system.n_outputs or args.port > system.n_ports:
+        print(f"error: benchmark has {system.n_outputs} outputs and "
+              f"{system.n_ports} ports", file=sys.stderr)
+        return 2
+    name = f"{args.benchmark}/{args.method}"
+    engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
+    with ModelServer(store, engine=engine) as server:
+        server.load(name, key=key)
+        sweep = server.sweep(name, omega_min=1e5, omega_max=1e12,
+                             n_points=args.points,
+                             output=args.output - 1, port=args.port - 1)
+    rows = [{"omega (rad/s)": float(omega), "|H| ROM": float(mag)}
+            for omega, mag in zip(sweep.omegas, sweep.magnitude)]
+    print(format_table(
+        rows, title=f"served H[{args.output},{args.port}] of {name} "
+                    f"(no reduction performed)"))
+    print(f"model store: served entry {key[:12]} from {args.store}")
     return 0
 
 
@@ -227,6 +395,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_reduce(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "query":
+            return _cmd_query(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

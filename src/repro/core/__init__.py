@@ -20,7 +20,7 @@ Contents
     ROM non-zeros, simulation flops) used by the ablation benchmarks.
 """
 
-from repro.core.bdsm import BDSMOptions, bdsm_reduce
+from repro.core.bdsm import BDSMOptions, bdsm_reduce, bdsm_store_options
 from repro.core.cost_model import (
     CostComparison,
     orthonormalization_inner_products,
@@ -41,6 +41,7 @@ __all__ = [
     "BlockDiagonalROM",
     "CostComparison",
     "bdsm_reduce",
+    "bdsm_store_options",
     "multipoint_bdsm_reduce",
     "orthonormalization_inner_products",
     "parallel_composition",

@@ -43,7 +43,7 @@ from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
 
-__all__ = ["BDSMOptions", "bdsm_reduce"]
+__all__ = ["BDSMOptions", "bdsm_reduce", "bdsm_store_options"]
 
 
 @dataclass(frozen=True)
@@ -81,9 +81,25 @@ class BDSMOptions:
     solver: SolverOptions | None = None
 
 
+def bdsm_store_options(n_moments: int, *, s0: complex = 0.0,
+                       options: BDSMOptions | None = None) -> dict:
+    """The options record :func:`bdsm_reduce` memoizes under in a
+    :class:`~repro.store.ModelStore` — the one true key builder, so CLI
+    pre-checks (``--from-store``, ``query``) agree with the reducer.
+
+    Only knobs that change the ROM numerically enter the key; chunking and
+    worker counts do not (chunked processing is numerically identical).
+    """
+    opts = options or BDSMOptions()
+    return {"n_moments": int(n_moments), "s0": complex(s0),
+            "deflation_tol": float(opts.deflation_tol),
+            "keep_projection": bool(opts.keep_projection)}
+
+
 def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
                 options: BDSMOptions | None = None,
-                budget: ResourceBudget | None = None):
+                budget: ResourceBudget | None = None,
+                store=None):
     """Reduce ``system`` with BDSM, matching ``n_moments`` per input column.
 
     Parameters
@@ -103,6 +119,15 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
         Optional :class:`~repro.mor.base.ResourceBudget`; BDSM's working set
         is ``n x chunk x l`` so it stays far below the dense methods' needs,
         but the guard is honoured for fairness in the Table II harness.
+    store:
+        Optional :class:`~repro.store.ModelStore`.  The reduction is then
+        memoized *across processes*: if the store holds a ROM for this
+        exact system content, ``(n_moments, s0, deflation_tol,
+        keep_projection)`` and method, it is loaded instead of re-reduced
+        (a store hit; the returned stats are empty and the time is the
+        load time); otherwise the freshly-built ROM is saved.  Chunking
+        and worker-count knobs do not enter the key — they change nothing
+        numerically.
 
     Returns
     -------
@@ -115,6 +140,16 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
         raise ReductionError("n_moments must be >= 1")
     opts = options or BDSMOptions()
     budget = budget or ResourceBudget.unlimited()
+
+    store_key = None
+    store_options = None
+    if store is not None:
+        store_options = bdsm_store_options(n_moments, s0=s0, options=opts)
+        store_key = store.key_for(system, "BDSM", store_options)
+        load_start = time.perf_counter()
+        cached = store.fetch_key(store_key)
+        if cached is not None:
+            return cached, OrthoStats(), time.perf_counter() - load_start
 
     C = to_csr(system.C)
     G = to_csr(system.G)
@@ -170,4 +205,7 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
         original_size=n, original_ports=m,
         name=f"{getattr(system, 'name', 'system')}-BDSM")
     elapsed = time.perf_counter() - start
+    if store is not None:
+        store.put(store_key, rom, method="BDSM", options=store_options,
+                  system_name=getattr(system, "name", None))
     return rom, stats, elapsed

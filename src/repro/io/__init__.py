@@ -8,6 +8,11 @@ Contents
 ``tables``
     Plain-text table rendering for the benchmark harness (the Table I /
     Table II style output written to the console and to EXPERIMENTS.md).
+
+Reduced-order models are persisted by the versioned artifact layer in
+:mod:`repro.store.artifacts`; its :func:`save_artifact` /
+:func:`load_artifact` / :func:`artifact_meta` are re-exported here so all
+file IO is reachable from one namespace.
 """
 
 from repro.io.matrices import (
@@ -16,10 +21,18 @@ from repro.io.matrices import (
     save_matrix_market,
 )
 from repro.io.tables import format_table, write_table
+from repro.store.artifacts import (
+    artifact_meta,
+    load_artifact,
+    save_artifact,
+)
 
 __all__ = [
+    "artifact_meta",
     "format_table",
+    "load_artifact",
     "load_descriptor_npz",
+    "save_artifact",
     "save_descriptor_npz",
     "save_matrix_market",
     "write_table",

@@ -29,7 +29,7 @@ from repro.mor.base import (
 )
 from repro.mor.btrunc import pmtbr_reduce
 from repro.mor.eks import eks_reduce
-from repro.mor.prima import prima_reduce
+from repro.mor.prima import prima_reduce, prima_store_options
 from repro.mor.rational import multipoint_prima_reduce
 from repro.mor.svdmor import svdmor_reduce
 
@@ -41,5 +41,6 @@ __all__ = [
     "multipoint_prima_reduce",
     "pmtbr_reduce",
     "prima_reduce",
+    "prima_store_options",
     "svdmor_reduce",
 ]

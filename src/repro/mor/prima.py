@@ -22,10 +22,16 @@ import numpy as np
 from repro.exceptions import ReductionError
 from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
+from repro.linalg.orthogonalization import OrthoStats, modified_gram_schmidt
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ReducedSystem, ResourceBudget
 
-__all__ = ["prima_reduce", "congruence_project"]
+__all__ = ["prima_reduce", "prima_store_options", "congruence_project"]
+
+#: Single source of the default deflation tolerance, shared by
+#: :func:`prima_reduce` and :func:`prima_store_options` so the store key
+#: the CLI predicts can never drift from the one the reducer uses.
+_DEFAULT_DEFLATION_TOL = 1e-12
 
 
 def congruence_project(system, V: np.ndarray, *, method: str,
@@ -37,6 +43,13 @@ def congruence_project(system, V: np.ndarray, *, method: str,
     Shared by PRIMA, SVDMOR (on the thin system), EKS and the multipoint
     reducer; BDSM uses its own block-wise variant.
     """
+    V = np.asarray(V)
+    if np.iscomplexobj(V):
+        raise ReductionError(
+            "congruence_project needs a real basis; span the real and "
+            "imaginary parts of a complex basis first (the real "
+            "rational-Arnoldi trick used by prima_reduce and "
+            "multipoint_prima_reduce)")
     V = np.asarray(V, dtype=float)
     if V.ndim != 2:
         raise ReductionError("projection basis must be a 2-D array")
@@ -65,11 +78,23 @@ def congruence_project(system, V: np.ndarray, *, method: str,
     )
 
 
+def prima_store_options(n_moments: int, *, s0: complex = 0.0,
+                        deflation_tol: float = _DEFAULT_DEFLATION_TOL,
+                        keep_projection: bool = False) -> dict:
+    """The options record :func:`prima_reduce` memoizes under in a
+    :class:`~repro.store.ModelStore` — the one true key builder, so CLI
+    pre-checks (``--from-store``, ``query``) agree with the reducer."""
+    return {"n_moments": int(n_moments), "s0": complex(s0),
+            "deflation_tol": float(deflation_tol),
+            "keep_projection": bool(keep_projection)}
+
+
 def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
                  budget: ResourceBudget | None = None,
                  keep_projection: bool = False,
-                 deflation_tol: float = 1e-12,
-                 solver: SolverOptions | None = None):
+                 deflation_tol: float = _DEFAULT_DEFLATION_TOL,
+                 solver: SolverOptions | None = None,
+                 store=None):
     """Reduce ``system`` with PRIMA, matching ``n_moments`` block moments.
 
     Parameters
@@ -93,6 +118,11 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
         Optional :class:`~repro.linalg.backends.SolverOptions` for the
         shifted-pencil solves (backend choice, caching, iterative
         parameters).
+    store:
+        Optional :class:`~repro.store.ModelStore` memoizing the reduction
+        across processes, keyed on the system content and ``(n_moments,
+        s0, deflation_tol, keep_projection)``.  On a store hit the ROM is
+        loaded instead of rebuilt (empty stats, load time returned).
 
     Returns
     -------
@@ -103,6 +133,19 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
     if n_moments < 1:
         raise ReductionError("n_moments must be >= 1")
     budget = budget or ResourceBudget.unlimited()
+
+    store_key = None
+    store_options = None
+    if store is not None:
+        store_options = prima_store_options(
+            n_moments, s0=s0, deflation_tol=deflation_tol,
+            keep_projection=keep_projection)
+        store_key = store.key_for(system, "PRIMA", store_options)
+        load_start = time.perf_counter()
+        cached = store.fetch_key(store_key)
+        if cached is not None:
+            return cached, OrthoStats(), time.perf_counter() - load_start
+
     n = system.C.shape[0]
     m = system.B.shape[1]
     q_expected = m * n_moments
@@ -113,8 +156,24 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
     operator = ShiftedOperator(system.C, system.G, s0=s0, solver=solver)
     krylov = block_krylov_basis(operator, system.B, n_moments,
                                 deflation_tol=deflation_tol)
+    basis = krylov.basis
+    stats = krylov.stats
+    if np.iscomplexobj(basis) or complex(s0).imag != 0.0:
+        # Complex expansion point: span the real and imaginary parts and
+        # re-orthonormalise so the ROM stays real — the standard real
+        # rational-Arnoldi trick, same as multipoint_prima_reduce.
+        split = np.hstack([np.real(basis), np.imag(basis)])
+        basis, split_stats = modified_gram_schmidt(
+            np.asarray(split, dtype=float), deflation_tol=deflation_tol)
+        merged = OrthoStats()
+        merged.merge(krylov.stats)
+        merged.merge(split_stats)
+        stats = merged
     rom = congruence_project(
-        system, krylov.basis, method="PRIMA", s0=s0, n_moments=n_moments,
+        system, basis, method="PRIMA", s0=s0, n_moments=n_moments,
         reusable=True, keep_projection=keep_projection)
     elapsed = time.perf_counter() - start
-    return rom, krylov.stats, elapsed
+    if store is not None:
+        store.put(store_key, rom, method="PRIMA", options=store_options,
+                  system_name=getattr(system, "name", None))
+    return rom, stats, elapsed

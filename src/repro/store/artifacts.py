@@ -1,0 +1,407 @@
+"""Versioned on-disk artifacts for reduced-order models.
+
+A paper-faithful BDSM workflow is *reduce once, query forever*: the ROM is
+input-independent, so the expensive reduction should be paid a single time
+and its result shipped between processes, machines and CI runs.  This module
+provides the serialization layer that makes that possible (in the spirit of
+pyMOR's persistence layer and SHARPy's on-disk case artifacts):
+
+* one compressed ``.npz`` container per model, holding every payload array
+  with its exact dtype and — for sparse matrices — its CSR structure, so a
+  save/load round-trip is bit-identical;
+* a JSON metadata record embedded in the container carrying a
+  ``schema`` version field (loads of a different schema are rejected with a
+  clear error instead of garbage) and the model's scalar attributes;
+* a content fingerprint over all payload bytes plus the metadata, verified
+  on load, so truncated or corrupted artifacts are rejected instead of
+  silently producing a wrong model.
+
+Three model kinds round-trip: :class:`~repro.mor.base.ReducedSystem`,
+:class:`~repro.core.structured_rom.BlockDiagonalROM` (block by block,
+including optional projection bases) and
+:class:`~repro.mor.base.ReductionSummary`.  All writes are atomic (tempfile
+in the target directory + ``os.replace``) so a concurrent reader never
+observes a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
+from repro.exceptions import ValidationError
+from repro.mor.base import ReducedSystem, ReductionSummary
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "save_artifact",
+    "load_artifact",
+    "artifact_meta",
+    "encode_json_value",
+]
+
+#: Version of the artifact container layout.  Bump on any incompatible
+#: change to the array naming scheme or the metadata record; loaders reject
+#: other versions with a :class:`~repro.exceptions.ValidationError`.
+SCHEMA_VERSION = 1
+
+#: Metadata key of the embedded JSON record.
+_META_KEY = "__meta__"
+
+#: ``meta["kind"]`` values understood by :func:`load_artifact`.
+_KIND_REDUCED = "reduced_system"
+_KIND_BDSM = "bdsm_rom"
+_KIND_SUMMARY = "reduction_summary"
+
+
+# --------------------------------------------------------------------------- #
+# JSON helpers (complex scalars are not JSON; encode them structurally)
+# --------------------------------------------------------------------------- #
+def encode_json_value(value) -> object:
+    """JSON-encode a metadata value, mapping complex scalars to
+    ``{"re": ..., "im": ...}`` (recursively through lists/tuples).
+
+    The single complex-to-JSON encoding shared by the artifact metadata
+    and the :func:`~repro.store.model_store.canonical_options` store keys,
+    so the two can never drift apart.
+    """
+    if isinstance(value, (list, tuple)):
+        return [encode_json_value(v) for v in value]
+    if isinstance(value, complex):
+        return {"re": value.real, "im": value.imag}
+    return value
+
+
+def _encode_s0(s0) -> object:
+    """JSON-encode an expansion point (scalar or list of complex).
+
+    Unlike :func:`encode_json_value`, real scalars are promoted to complex
+    first: an s0 always decodes back through :func:`_decode_s0`."""
+    if isinstance(s0, (list, tuple)):
+        return [_encode_s0(v) for v in s0]
+    return encode_json_value(complex(s0))
+
+
+def _decode_s0(payload) -> complex | list[complex]:
+    if isinstance(payload, list):
+        return [_decode_s0(v) for v in payload]
+    return complex(payload["re"], payload["im"])
+
+
+# --------------------------------------------------------------------------- #
+# Matrix encoding (dtype- and sparsity-preserving)
+# --------------------------------------------------------------------------- #
+def _encode_matrix(arrays: dict, formats: dict, name: str, matrix) -> None:
+    """Add one matrix to the payload, preserving dtype and sparsity."""
+    if sp.issparse(matrix):
+        m = matrix.tocsr()
+        if not m.has_canonical_format:
+            if m is matrix:
+                m = m.copy()
+            m.sum_duplicates()
+        formats[name] = "csr"
+        arrays[f"{name}_data"] = m.data
+        arrays[f"{name}_indices"] = np.asarray(m.indices, dtype=np.int64)
+        arrays[f"{name}_indptr"] = np.asarray(m.indptr, dtype=np.int64)
+        arrays[f"{name}_shape"] = np.asarray(m.shape, dtype=np.int64)
+    else:
+        formats[name] = "dense"
+        arrays[name] = np.asarray(matrix)
+
+
+def _decode_matrix(data, formats: dict, name: str):
+    fmt = formats.get(name)
+    if fmt == "csr":
+        shape = tuple(int(v) for v in data[f"{name}_shape"])
+        return sp.csr_matrix(
+            (data[f"{name}_data"], data[f"{name}_indices"],
+             data[f"{name}_indptr"]), shape=shape)
+    if fmt == "dense":
+        return data[name]
+    raise ValidationError(f"artifact payload is missing matrix {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprinting
+# --------------------------------------------------------------------------- #
+def _payload_fingerprint(arrays: dict, meta: dict) -> str:
+    """Content hash over every payload array and the metadata record.
+
+    The metadata is hashed in canonical JSON form *without* the fingerprint
+    field itself, so the stored value can be recomputed and compared on
+    load.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+        h.update(arr.tobytes())
+    clean = {k: v for k, v in meta.items() if k != "fingerprint"}
+    h.update(json.dumps(clean, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Encoders (model -> arrays + meta)
+# --------------------------------------------------------------------------- #
+def _encode_reduced_system(model: ReducedSystem) -> tuple[dict, dict]:
+    arrays: dict[str, np.ndarray] = {}
+    formats: dict[str, str] = {}
+    for name in ("C", "G", "B", "L"):
+        _encode_matrix(arrays, formats, name, getattr(model, name))
+    if model.projection is not None:
+        _encode_matrix(arrays, formats, "projection", model.projection)
+    if model.const_input is not None:
+        arrays["const_input"] = np.asarray(model.const_input)
+    meta = {
+        "kind": _KIND_REDUCED,
+        "formats": formats,
+        "method": model.method,
+        "s0": _encode_s0(model.s0),
+        "n_moments": int(model.n_moments),
+        "reusable": bool(model.reusable),
+        "original_size": int(model.original_size),
+        "original_ports": int(model.original_ports),
+        "name": model.name,
+    }
+    return arrays, meta
+
+
+def _decode_reduced_system(data, meta: dict) -> ReducedSystem:
+    formats = meta["formats"]
+    return ReducedSystem(
+        C=_decode_matrix(data, formats, "C"),
+        G=_decode_matrix(data, formats, "G"),
+        B=_decode_matrix(data, formats, "B"),
+        L=_decode_matrix(data, formats, "L"),
+        projection=(_decode_matrix(data, formats, "projection")
+                    if "projection" in formats else None),
+        const_input=(data["const_input"]
+                     if "const_input" in data else None),
+        method=str(meta["method"]),
+        s0=_decode_s0(meta["s0"]),
+        n_moments=int(meta["n_moments"]),
+        reusable=bool(meta["reusable"]),
+        original_size=int(meta["original_size"]),
+        original_ports=int(meta["original_ports"]),
+        name=str(meta["name"]),
+    )
+
+
+def _encode_bdsm_rom(rom: BlockDiagonalROM) -> tuple[dict, dict]:
+    arrays: dict[str, np.ndarray] = {}
+    formats: dict[str, str] = {}
+    block_indices: list[int] = []
+    has_basis: list[bool] = []
+    for pos, block in enumerate(rom.blocks):
+        prefix = f"block{pos}"
+        arrays[f"{prefix}_C"] = block.C
+        arrays[f"{prefix}_G"] = block.G
+        arrays[f"{prefix}_b"] = block.b
+        arrays[f"{prefix}_L"] = block.L
+        if block.basis is not None:
+            _encode_matrix(arrays, formats, f"{prefix}_basis", block.basis)
+        block_indices.append(int(block.index))
+        has_basis.append(block.basis is not None)
+    meta = {
+        "kind": _KIND_BDSM,
+        "formats": formats,
+        "n_blocks": len(rom.blocks),
+        "block_indices": block_indices,
+        "has_basis": has_basis,
+        "n_outputs": int(rom.n_outputs),
+        "s0": _encode_s0(rom.s0),
+        "n_moments": int(rom.n_moments),
+        "original_size": int(rom.original_size),
+        "original_ports": int(rom.original_ports),
+        "name": rom.name,
+    }
+    return arrays, meta
+
+
+def _decode_bdsm_rom(data, meta: dict) -> BlockDiagonalROM:
+    formats = meta["formats"]
+    blocks: list[ROMBlock] = []
+    for pos in range(int(meta["n_blocks"])):
+        prefix = f"block{pos}"
+        basis = None
+        if meta["has_basis"][pos]:
+            basis = _decode_matrix(data, formats, f"{prefix}_basis")
+            if sp.issparse(basis):
+                basis = basis.toarray()
+        blocks.append(ROMBlock(
+            index=int(meta["block_indices"][pos]),
+            C=data[f"{prefix}_C"],
+            G=data[f"{prefix}_G"],
+            b=data[f"{prefix}_b"],
+            L=data[f"{prefix}_L"],
+            basis=basis))
+    return BlockDiagonalROM(
+        blocks,
+        n_outputs=int(meta["n_outputs"]),
+        s0=_decode_s0(meta["s0"]),
+        n_moments=int(meta["n_moments"]),
+        original_size=int(meta["original_size"]),
+        original_ports=int(meta["original_ports"]),
+        name=str(meta["name"]),
+    )
+
+
+def _encode_summary(summary: ReductionSummary) -> tuple[dict, dict]:
+    meta = {
+        "kind": _KIND_SUMMARY,
+        "summary": {
+            "method": summary.method,
+            "benchmark": summary.benchmark,
+            "original_size": summary.original_size,
+            "original_ports": summary.original_ports,
+            "rom_size": summary.rom_size,
+            "rom_nnz": summary.rom_nnz,
+            "matched_moments": summary.matched_moments,
+            "reusable": summary.reusable,
+            "mor_seconds": summary.mor_seconds,
+            "ortho_inner_products": summary.ortho_inner_products,
+            "status": summary.status,
+            "notes": summary.notes,
+            # ``extra`` must itself be JSON-serializable; harness records
+            # only put scalars and strings in it.
+            "extra": summary.extra,
+        },
+    }
+    return {}, meta
+
+
+def _decode_summary(data, meta: dict) -> ReductionSummary:
+    payload = dict(meta["summary"])
+    return ReductionSummary(**payload)
+
+
+_ENCODERS = (
+    (BlockDiagonalROM, _encode_bdsm_rom),
+    (ReducedSystem, _encode_reduced_system),
+    (ReductionSummary, _encode_summary),
+)
+
+_DECODERS = {
+    _KIND_REDUCED: _decode_reduced_system,
+    _KIND_BDSM: _decode_bdsm_rom,
+    _KIND_SUMMARY: _decode_summary,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+def save_artifact(model, path: str | Path) -> Path:
+    """Save a ROM (or summary) to a versioned ``.npz`` artifact.
+
+    Supported types: :class:`~repro.mor.base.ReducedSystem`,
+    :class:`~repro.core.structured_rom.BlockDiagonalROM` and
+    :class:`~repro.mor.base.ReductionSummary`.  The write is atomic: the
+    container is assembled in a temporary file next to ``path`` and moved
+    into place with ``os.replace``, so concurrent readers never see a
+    partial artifact.
+    """
+    for cls, encoder in _ENCODERS:
+        if isinstance(model, cls):
+            arrays, meta = encoder(model)
+            break
+    else:
+        raise ValidationError(
+            f"cannot serialize {type(model).__name__}; supported kinds are "
+            "ReducedSystem, BlockDiagonalROM and ReductionSummary")
+    meta["schema"] = SCHEMA_VERSION
+    meta["fingerprint"] = _payload_fingerprint(arrays, meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(
+                handle, **{_META_KEY: np.asarray([json.dumps(meta)])},
+                **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _read_container(path: Path):
+    """Open an artifact container, mapping low-level failures to
+    :class:`~repro.exceptions.ValidationError`."""
+    if not path.exists():
+        raise ValidationError(f"no such artifact: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in data.files}
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError,
+            KeyError) as exc:
+        raise ValidationError(
+            f"{path} is not a readable model artifact "
+            f"(corrupted or truncated): {exc}") from exc
+    if _META_KEY not in payload:
+        raise ValidationError(
+            f"{path} does not look like a model artifact (missing metadata)")
+    try:
+        meta = json.loads(str(payload.pop(_META_KEY)[0]))
+    except (json.JSONDecodeError, IndexError) as exc:
+        raise ValidationError(
+            f"{path} carries unreadable artifact metadata: {exc}") from exc
+    return payload, meta
+
+
+def _check_schema_and_integrity(path: Path, payload: dict,
+                                meta: dict) -> None:
+    schema = meta.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path} uses artifact schema version {schema!r}; this build "
+            f"reads version {SCHEMA_VERSION} — regenerate the artifact")
+    stored = meta.get("fingerprint")
+    actual = _payload_fingerprint(payload, meta)
+    if stored != actual:
+        raise ValidationError(
+            f"{path} failed its integrity check (stored fingerprint "
+            f"{stored!r}, recomputed {actual!r}); the artifact is corrupted")
+
+
+def load_artifact(path: str | Path):
+    """Load a model artifact previously written by :func:`save_artifact`.
+
+    Verifies the schema version and the content fingerprint before
+    decoding, so corrupted, truncated or incompatibly-versioned artifacts
+    raise :class:`~repro.exceptions.ValidationError` instead of producing a
+    silently wrong model.
+    """
+    path = Path(path)
+    payload, meta = _read_container(path)
+    _check_schema_and_integrity(path, payload, meta)
+    kind = meta.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ValidationError(
+            f"{path} holds unknown artifact kind {kind!r}")
+    return decoder(payload, meta)
+
+
+def artifact_meta(path: str | Path) -> dict:
+    """Read an artifact's metadata record (schema, kind, fingerprint, model
+    attributes) without decoding the payload arrays."""
+    path = Path(path)
+    payload, meta = _read_container(path)
+    _check_schema_and_integrity(path, payload, meta)
+    return meta

@@ -1,0 +1,328 @@
+"""Fingerprint-keyed directory cache of reduced-order models.
+
+The :class:`ModelStore` turns reduction into a cross-process memo: entries
+are keyed on ``(system content fingerprint, method, reduction options)``, so
+any process that stamps the same grid and asks for the same reduction gets
+the previously-computed ROM off disk instead of re-running Algorithm 1.
+This is the persistent counterpart of the in-process
+:class:`~repro.linalg.backends.FactorizationCache` from PR 1 — same idea
+(content-addressed reuse with LRU eviction and hit/miss statistics), one
+level up the stack and durable across processes.
+
+Design points:
+
+* **keys** are content hashes: the four descriptor matrices are hashed with
+  :func:`~repro.linalg.backends.matrix_fingerprint` (stable across
+  processes and sparse formats) together with the method name and a
+  canonical JSON form of the reduction options, so renaming a benchmark
+  never aliases two different grids and changing any option that affects
+  the ROM changes the key;
+* **writes are atomic** (delegated to
+  :func:`~repro.store.artifacts.save_artifact` plus an atomically-replaced
+  JSON sidecar), so concurrent writers race benignly — last writer wins
+  with a complete artifact, never a torn one;
+* **LRU eviction by size budget**: every hit refreshes the artifact's
+  mtime, and when the store exceeds ``max_bytes`` the least-recently-used
+  entries are dropped (the just-written entry is protected);
+* **forgiving fetch, strict load**: :meth:`fetch` treats a corrupted or
+  concurrently-deleted entry as a miss (the caller just re-reduces and
+  overwrites it) while :meth:`load` raises a clear
+  :class:`~repro.exceptions.ValidationError`, which is what the CLI's
+  ``--from-store`` path wants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.linalg.backends import matrix_fingerprint
+from repro.store.artifacts import (
+    encode_json_value,
+    load_artifact,
+    save_artifact,
+)
+
+__all__ = ["ModelStore", "StoreStats", "StoreEntry"]
+
+_ARTIFACT_SUFFIX = ".rom.npz"
+_META_SUFFIX = ".meta.json"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction counters of one :class:`ModelStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class StoreEntry:
+    """One cached model: key, artifact path and bookkeeping metadata."""
+
+    key: str
+    path: Path
+    n_bytes: int
+    last_used: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def method(self) -> str:
+        """Reduction method recorded at save time."""
+        return str(self.meta.get("method", "?"))
+
+    @property
+    def system_name(self) -> str:
+        """Name of the system the model was reduced from."""
+        return str(self.meta.get("system_name", "?"))
+
+
+def canonical_options(options: Mapping | None) -> dict:
+    """Reduction options normalised for hashing and sidecar storage.
+
+    Complex scalars (expansion points) are encoded structurally via the
+    artifact layer's shared :func:`~repro.store.artifacts.encode_json_value`
+    since JSON has no complex type; anything else must already be
+    JSON-serializable.
+    """
+    return {str(k): encode_json_value(v)
+            for k, v in (options or {}).items()}
+
+
+class ModelStore:
+    """Directory-backed, size-bounded cache of reduced-order models.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created unless ``create=False``).
+    max_bytes:
+        Optional size budget; when the store grows past it the
+        least-recently-used entries are evicted (newest entry always kept).
+    create:
+        With ``False``, a missing ``root`` raises
+        :class:`~repro.exceptions.ValidationError` instead of being created
+        — the behaviour the CLI wants for ``--from-store`` and ``query``.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None,
+                 create: bool = True) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ValidationError(
+                f"model store path {self.root} exists but is not a directory")
+        if not self.root.is_dir():
+            if not create:
+                raise ValidationError(
+                    f"no model store at {self.root}; run a reduction with "
+                    "--store first (or pass create=True)")
+            self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValidationError("max_bytes must be positive (or None)")
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(system, method: str, options: Mapping | None = None) -> str:
+        """Content key of ``(system, method, options)``.
+
+        The system contributes through the fingerprints of its four
+        descriptor matrices, so two identically-valued grids share keys no
+        matter how they were built, while any numeric change — or any
+        option change — produces a fresh key.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        for name in ("C", "G", "B", "L"):
+            h.update(matrix_fingerprint(getattr(system, name)).encode())
+        h.update(method.strip().lower().encode())
+        h.update(json.dumps(canonical_options(options),
+                            sort_keys=True).encode())
+        return h.hexdigest()
+
+    def artifact_path(self, key: str) -> Path:
+        """Path of the artifact stored under ``key`` (existing or not)."""
+        return self.root / f"{key}{_ARTIFACT_SUFFIX}"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / f"{key}{_META_SUFFIX}"
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        """Whether an artifact is stored under ``key`` (no stats update)."""
+        return self.artifact_path(key).exists()
+
+    def put(self, key: str, model, *, method: str = "?",
+            options: Mapping | None = None,
+            system_name: str | None = None) -> Path:
+        """Store ``model`` under ``key`` (atomic; may trigger eviction)."""
+        with self._lock:
+            path = save_artifact(model, self.artifact_path(key))
+            meta = {
+                "key": key,
+                "method": method,
+                "options": canonical_options(options),
+                "system_name": system_name or getattr(model, "name", "?"),
+                "kind": type(model).__name__,
+                "rom_size": int(getattr(model, "size", 0) or 0),
+                "created": time.time(),
+            }
+            tmp = Path(str(self._meta_path(key)) + ".tmp")
+            tmp.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
+            os.replace(tmp, self._meta_path(key))
+            self._stats.puts += 1
+            self._evict_if_needed(protect=key)
+        return path
+
+    def load(self, key: str):
+        """Load the model stored under ``key`` (strict).
+
+        Raises :class:`~repro.exceptions.ValidationError` when the entry is
+        absent, corrupted or schema-incompatible.  A successful load
+        refreshes the entry's LRU timestamp.
+        """
+        path = self.artifact_path(key)
+        if not path.exists():
+            raise ValidationError(
+                f"model store {self.root} has no entry {key}")
+        model = load_artifact(path)
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away under us
+            pass
+        return model
+
+    def fetch(self, system, method: str, options: Mapping | None = None):
+        """Memoization lookup: the stored model, or ``None`` on a miss.
+
+        Records a hit or a miss in :meth:`stats`.  Unreadable entries
+        (corrupted artifact, concurrent eviction) count as misses — the
+        caller re-reduces and overwrites them.
+        """
+        return self.fetch_key(self.key_for(system, method, options))
+
+    def fetch_key(self, key: str):
+        """Like :meth:`fetch` for a precomputed key."""
+        with self._lock:
+            if not self.contains(key):
+                self._stats.misses += 1
+                return None
+            try:
+                model = self.load(key)
+            except ValidationError:
+                self._stats.misses += 1
+                return None
+            self._stats.hits += 1
+            return model
+
+    def get_or_reduce(self, system, method: str, options: Mapping | None,
+                      builder):
+        """Return ``(model, from_store)``, building and storing on a miss.
+
+        ``builder()`` must return the model to cache; it only runs when the
+        store has no usable entry for the key.
+        """
+        key = self.key_for(system, method, options)
+        cached = self.fetch_key(key)
+        if cached is not None:
+            return cached, True
+        model = builder()
+        self.put(key, model, method=method, options=options,
+                 system_name=getattr(system, "name", None))
+        return model, False
+
+    # ------------------------------------------------------------------ #
+    # Introspection and maintenance
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[StoreEntry]:
+        """All stored entries, least-recently-used first."""
+        out: list[StoreEntry] = []
+        for path in sorted(self.root.glob(f"*{_ARTIFACT_SUFFIX}")):
+            key = path.name[:-len(_ARTIFACT_SUFFIX)]
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            meta: dict = {}
+            meta_path = self._meta_path(key)
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    meta = {}
+            out.append(StoreEntry(key=key, path=path,
+                                  n_bytes=int(stat.st_size),
+                                  last_used=float(stat.st_mtime),
+                                  meta=meta))
+        out.sort(key=lambda e: (e.last_used, e.key))
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by stored artifacts."""
+        return sum(entry.n_bytes for entry in self.entries())
+
+    def stats(self) -> StoreStats:
+        """Hit/miss/put/eviction counters of this store instance."""
+        with self._lock:
+            return StoreStats(hits=self._stats.hits,
+                              misses=self._stats.misses,
+                              puts=self._stats.puts,
+                              evictions=self._stats.evictions)
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of artifacts removed."""
+        removed = 0
+        with self._lock:
+            for entry in self.entries():
+                self._remove(entry)
+                removed += 1
+        return removed
+
+    def _remove(self, entry: StoreEntry) -> None:
+        for path in (entry.path, self._meta_path(entry.key)):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+
+    def _evict_if_needed(self, protect: str) -> None:
+        """Drop LRU entries until the size budget holds (``protect`` and the
+        most recent entry are never evicted)."""
+        if self.max_bytes is None:
+            return
+        entries = self.entries()
+        total = sum(e.n_bytes for e in entries)
+        for entry in entries:
+            if total <= self.max_bytes or len(entries) <= 1:
+                break
+            if entry.key == protect:
+                continue
+            self._remove(entry)
+            total -= entry.n_bytes
+            self._stats.evictions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ModelStore(root={str(self.root)!r}, "
+                f"entries={len(self.entries())}, "
+                f"max_bytes={self.max_bytes})")

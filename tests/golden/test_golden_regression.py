@@ -215,6 +215,56 @@ def test_parallel_sweep_bit_identical_to_serial(grid, systems):
                           parallel.sweep(system).values)
 
 
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_stored_rom_reproduces_pole_goldens(grid, systems, tmp_path):
+    """A ROM round-tripped through the artifact store must still pin the
+    golden BDSM pole spectrum — and match the in-memory ROM bit-for-bit.
+
+    This is the persistence counterpart of the backend matrix above: the
+    store may not perturb a single ULP of the model, so the reloaded ROM's
+    observables are *identical* to the in-memory ones, which in turn match
+    the stored goldens.
+    """
+    from repro.store import ModelStore
+
+    path = golden_path(grid)
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; run "
+                    "pytest tests/golden --update-golden")
+    system = systems[grid]
+    solver = _solver_options(REFERENCE_BACKEND)
+    rom, _, _ = bdsm_reduce(system, N_MOMENTS,
+                            options=BDSMOptions(solver=solver))
+
+    store = ModelStore(tmp_path / "store")
+    key = store.key_for(system, "BDSM", {"n_moments": N_MOMENTS})
+    store.put(key, rom, method="BDSM")
+    loaded = store.load(key)
+
+    def poles_of(model) -> np.ndarray:
+        vals = []
+        for block in model.blocks:
+            vals.extend(np.asarray(
+                scipy.linalg.eig(block.G, block.C, right=False)))
+        vals = np.asarray(vals, dtype=complex)
+        return np.sort(vals.real) + 1j * np.sort(vals.imag)
+
+    in_memory = poles_of(rom)
+    reloaded = poles_of(loaded)
+    assert np.array_equal(in_memory, reloaded), (
+        "store round-trip perturbed the ROM spectrum")
+
+    stored = _from_json({k: v for k, v in
+                         json.loads(path.read_text()).items()
+                         if k in RTOL})
+    golden = stored["rom_poles"]
+    scale = float(np.max(np.abs(golden))) or 1.0
+    rtol = RTOL["rom_poles"]
+    assert np.allclose(reloaded, golden, rtol=rtol, atol=rtol * scale), (
+        f"{grid}: reloaded ROM poles deviate from golden by "
+        f"{np.max(np.abs(reloaded - golden)):.3e}")
+
+
 def test_goldens_match_reference_backend_exactly(systems):
     """The reference backend must reproduce its own goldens bit-tightly.
 

@@ -10,6 +10,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
     def test_reduce_defaults(self):
         args = build_parser().parse_args(["reduce"])
         assert args.benchmark == "ckt1"
@@ -50,6 +57,114 @@ class TestReduceCommand:
         main(["reduce", "--method", "eks", "--moments", "3"])
         out = capsys.readouterr().out
         assert "| no" in out or "no " in out
+
+    def test_reduce_save_writes_artifact(self, capsys, tmp_path):
+        path = tmp_path / "rom.npz"
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+                     "--save", str(path)])
+        assert code == 0
+        assert path.exists()
+        from repro import load_artifact
+        assert load_artifact(path).size > 0
+        assert "ROM artifact saved" in capsys.readouterr().out
+
+    def test_reduce_store_miss_then_hit(self, capsys, tmp_path):
+        argv = ["reduce", "--benchmark", "ckt1", "--moments", "3",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "miss (ROM saved)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "hit (reduction skipped)" in second
+
+    def test_reduce_from_store_without_store_flag(self, capsys):
+        assert main(["reduce", "--from-store"]) == 1
+        assert "--from-store requires --store" in capsys.readouterr().err
+
+    def test_reduce_from_store_missing_entry_is_clean(self, capsys,
+                                                      tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+                     "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        code = main(["reduce", "--benchmark", "ckt2", "--moments", "3",
+                     "--store", str(store_dir), "--from-store"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no entry" in err
+
+    def test_reduce_store_rejects_unmemoizable_method(self, capsys,
+                                                      tmp_path):
+        code = main(["reduce", "--method", "eks", "--moments", "3",
+                     "--store", str(tmp_path / "store")])
+        assert code == 1
+        assert "only memoizes" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_missing_store_is_clean_error(self, capsys, tmp_path):
+        code = main(["store", "list", "--store",
+                     str(tmp_path / "nowhere")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no model store" in err
+
+    def test_list_and_stats_and_clear(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+              "--store", store_dir])
+        capsys.readouterr()
+        assert main(["store", "list", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "ckt1-smoke" in out and "BDSM" in out
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["store", "clear", "--store", store_dir]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["store", "list", "--store", store_dir]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_query_serves_stored_rom(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+              "--store", store_dir])
+        capsys.readouterr()
+        code = main(["query", "--store", store_dir, "--benchmark", "ckt1",
+                     "--method", "bdsm", "--moments", "3", "--points", "4",
+                     "--output", "1", "--port", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no reduction performed" in out
+        assert "|H| ROM" in out
+
+    def test_query_missing_entry_is_clean(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+              "--store", store_dir])
+        capsys.readouterr()
+        code = main(["query", "--store", store_dir, "--benchmark", "ckt1",
+                     "--method", "bdsm", "--moments", "4"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "populate it" in err
+
+    def test_query_missing_store_is_clean(self, capsys, tmp_path):
+        code = main(["query", "--store", str(tmp_path / "nope"),
+                     "--benchmark", "ckt1"])
+        assert code == 1
+        assert "no model store" in capsys.readouterr().err
+
+    def test_query_rejects_zero_based_indices(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+              "--store", store_dir])
+        assert main(["query", "--store", store_dir, "--output", "0"]) == 2
 
 
 class TestSweepCommand:

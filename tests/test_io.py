@@ -41,6 +41,85 @@ class TestDescriptorNpz:
         loaded = load_descriptor_npz(path)
         assert np.allclose(loaded.const_input, system.const_input)
 
+    def test_complex_valued_system_roundtrip(self, tmp_path):
+        """Complex descriptor matrices (multipoint expansions at complex
+        s0 produce them) must round-trip with dtype and values intact."""
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+        rng = np.random.default_rng(3)
+        n = 5
+        C = sp.csr_matrix(rng.standard_normal((n, n))
+                          + 1j * rng.standard_normal((n, n)))
+        G = -(sp.eye(n) + 0.1j * sp.eye(n)).tocsr()
+        B = sp.csr_matrix((np.eye(n)[:, :2] * (1 + 2j)))
+        L = sp.csr_matrix(np.eye(n)[:1].astype(complex))
+        system = DescriptorSystem(
+            C=C, G=G, B=B, L=L,
+            state_names=[f"n{i}" for i in range(n)],
+            port_names=["p0", "p1"], output_names=["o0"], name="complex")
+        path = tmp_path / "complex.npz"
+        loaded = load_descriptor_npz(save_descriptor_npz(system, path))
+        for name in ("C", "G", "B", "L"):
+            got = getattr(loaded, name)
+            want = getattr(system, name)
+            assert got.dtype == want.dtype, name
+            assert got.shape == want.shape, name
+            assert (got != want).nnz == 0, name
+        s = 1j * 1e8
+        assert np.array_equal(loaded.transfer_function(s),
+                              system.transfer_function(s))
+
+    def test_zero_port_system_roundtrip(self, tmp_path):
+        """A system with no input ports (autonomous grid slice) must keep
+        its (n, 0) input shape — and a complex empty B its dtype."""
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+        n = 4
+        system = DescriptorSystem(
+            C=sp.eye(n).tocsr(), G=(-sp.eye(n)).tocsr(),
+            B=sp.csr_matrix((n, 0), dtype=complex),
+            L=sp.csr_matrix(np.eye(n)[:2]),
+            state_names=[f"n{i}" for i in range(n)],
+            port_names=[], output_names=["a", "b"], name="zero-port")
+        loaded = load_descriptor_npz(
+            save_descriptor_npz(system, tmp_path / "zp.npz"))
+        assert loaded.n_ports == 0
+        assert loaded.B.shape == (n, 0)
+        assert loaded.B.dtype == system.B.dtype
+        assert loaded.port_names == []
+        assert loaded.state_names == system.state_names
+
+    def test_zero_output_and_empty_names_roundtrip(self, tmp_path):
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+        n = 3
+        system = DescriptorSystem(
+            C=sp.eye(n).tocsr(), G=(-sp.eye(n)).tocsr(),
+            B=sp.csr_matrix((n, 0)), L=sp.csr_matrix((0, n)),
+            state_names=[], port_names=[], output_names=[], name="empty")
+        loaded = load_descriptor_npz(
+            save_descriptor_npz(system, tmp_path / "empty.npz"))
+        assert loaded.L.shape == (0, n)
+        assert loaded.B.shape == (n, 0)
+        assert loaded.output_names == []
+        assert loaded.state_names == []
+
+    def test_integer_dtype_preserved(self, tmp_path):
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+        n = 3
+        system = DescriptorSystem(
+            C=sp.eye(n, dtype=np.int64).tocsr(),
+            G=(-sp.eye(n, dtype=np.int64)).tocsr(),
+            B=sp.csr_matrix(np.eye(n, dtype=np.int32)[:, :1]),
+            L=sp.csr_matrix(np.eye(n)[:1]),
+            state_names=["a", "b", "c"], port_names=["p"],
+            output_names=["o"])
+        loaded = load_descriptor_npz(
+            save_descriptor_npz(system, tmp_path / "int.npz"))
+        assert loaded.C.dtype == np.int64
+        assert loaded.B.dtype == np.int32
+
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ValidationError):
             load_descriptor_npz(tmp_path / "missing.npz")
@@ -63,6 +142,15 @@ class TestMatrixMarket:
     def test_suffix_added_when_missing(self, rc_grid_system, tmp_path):
         path = save_matrix_market(rc_grid_system.C, tmp_path / "C")
         assert path.exists()
+
+    def test_complex_matrix_export(self, tmp_path):
+        import scipy.io
+        import scipy.sparse as sp
+        M = sp.csr_matrix(np.array([[1 + 2j, 0.0], [0.0, 3 - 1j]]))
+        path = save_matrix_market(M, tmp_path / "M.mtx")
+        back = scipy.io.mmread(str(path))
+        assert np.iscomplexobj(back.toarray())
+        assert np.allclose(back.toarray(), M.toarray())
 
 
 class TestTables:
