@@ -66,10 +66,12 @@ from repro.linalg import (
     FactorizationCache,
     SolverOptions,
     available_backends,
+    block_orthonormalize,
     clear_default_cache,
     default_cache,
     get_solver,
 )
+from repro.perf import default_registry, scoped_timer
 from repro.mor import (
     ReducedSystem,
     ReductionSummary,
@@ -140,10 +142,12 @@ __all__ = [
     "available_backends",
     "bdsm_reduce",
     "benchmark_names",
+    "block_orthonormalize",
     "build_power_grid",
     "clear_default_cache",
     "count_matched_moments",
     "default_cache",
+    "default_registry",
     "dynamic_ir_drop",
     "dynamic_ir_drop_batch",
     "eks_reduce",
@@ -165,6 +169,7 @@ __all__ = [
     "relative_error_curve",
     "rom_structure_report",
     "save_artifact",
+    "scoped_timer",
     "svdmor_reduce",
     "verify_moment_matching",
     "write_netlist",

@@ -29,6 +29,15 @@ script:
     the :class:`~repro.store.ModelServer` — no reduction happens; a missing
     entry is a clean error telling you to populate the store first.
 
+``python -m repro bench --quick --check``
+    Run the named performance workloads of :mod:`repro.perf.workloads`
+    (blocked vs. column-wise orthogonalisation, cold BDSM/PRIMA, pooled
+    BDSM clusters), record them to ``benchmarks/results/*.json`` and —
+    with ``--check`` — fail on a >20% speedup regression against the
+    checked-in baseline.  ``--quick`` uses the smoke-scale grid (the CI
+    perf smoke job); the default laptop scale records the ckt2-scale
+    trajectory numbers.
+
 All commands accept ``--scale smoke|laptop|paper`` (default ``smoke`` so the
 CLI responds in seconds).  ``reduce`` and ``sweep`` additionally accept
 ``--solver`` (a backend name from :mod:`repro.linalg.backends`, ``auto`` by
@@ -148,6 +157,40 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument("--from-store", action="store_true",
                             help="require a store hit: fail cleanly "
                                  "instead of reducing on a miss")
+    reduce_cmd.add_argument("--jobs", type=int, default=1,
+                            help="worker threads for BDSM per-cluster "
+                                 "chunks (0 = one per CPU; bdsm only, "
+                                 "numerically identical to --jobs 1)")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="run recorded performance workloads with baseline "
+                      "regression gating")
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="smoke-scale grids (the CI perf smoke "
+                                "configuration)")
+    bench_cmd.add_argument("--benchmark", default="ckt2",
+                           choices=sorted(BENCHMARKS),
+                           help="grid the workloads run on (default ckt2)")
+    bench_cmd.add_argument("--workload", action="append", default=None,
+                           metavar="NAME",
+                           help="run only this workload (repeatable; "
+                                "default: all)")
+    bench_cmd.add_argument("--repeats", type=int, default=3,
+                           help="timing repetitions per workload "
+                                "(best-of; default 3)")
+    bench_cmd.add_argument("--output", metavar="PATH", default=None,
+                           help="results JSON path (default "
+                                "benchmarks/results/perf_quick.json with "
+                                "--quick, else "
+                                "benchmarks/results/reduction_speedup.json)")
+    bench_cmd.add_argument("--baseline", metavar="PATH",
+                           default="benchmarks/baselines/perf_quick.json",
+                           help="baseline JSON for --check/--update-baseline")
+    bench_cmd.add_argument("--check", action="store_true",
+                           help="fail (exit 1) when a gated workload's "
+                                "speedup regressed >20%% vs the baseline")
+    bench_cmd.add_argument("--update-baseline", action="store_true",
+                           help="also write the results to --baseline")
 
     store_cmd = sub.add_parser(
         "store", help="inspect or clear a persistent model store")
@@ -241,8 +284,25 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                     "populate it")
     elif args.from_store:
         raise ValidationError("--from-store requires --store DIR")
-    rom, stats, seconds = _REDUCERS[args.method](system, args.moments,
-                                                 solver, store)
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 0:
+        raise ValidationError("--jobs must be >= 0 (0 = one per CPU)")
+    if jobs != 1 and args.method != "bdsm":
+        raise ValidationError(
+            "--jobs parallelizes BDSM per-cluster chunks; "
+            f"{args.method} has no chunked reduction")
+    if args.method == "bdsm" and jobs != 1:
+        # Hand the reducer a pool; it chunks the ports itself so every
+        # worker gets a few independent clusters, all sharing the one
+        # cached pencil factorisation.
+        with SweepEngine(jobs=jobs) as engine:
+            rom, stats, seconds = bdsm_reduce(
+                system, args.moments,
+                options=BDSMOptions(solver=solver, engine=engine),
+                store=store)
+    else:
+        rom, stats, seconds = _REDUCERS[args.method](system, args.moments,
+                                                     solver, store)
     omegas = np.logspace(5, 9, 5)
     row = {
         "benchmark": system.name,
@@ -384,6 +444,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Workloads import the reducers, so they are loaded lazily here rather
+    # than at CLI import time.
+    from repro.perf import check_regressions, format_workloads, load_results
+    from repro.perf.bench import write_results
+    from repro.perf.workloads import run_workloads, workload_names
+
+    if args.repeats < 1:
+        raise ValidationError("--repeats must be >= 1")
+    names = args.workload
+    if names is not None:
+        unknown = sorted(set(names) - set(workload_names()))
+        if unknown:
+            raise ValidationError(
+                f"unknown workload(s) {', '.join(unknown)}; "
+                f"available: {', '.join(workload_names())}")
+    scale = "smoke" if args.quick else "laptop"
+    output = args.output
+    if output is None:
+        output = ("benchmarks/results/perf_quick.json" if args.quick
+                  else "benchmarks/results/reduction_speedup.json")
+
+    payload = run_workloads(names, benchmark=args.benchmark, scale=scale,
+                            repeats=args.repeats)
+    path = write_results(payload, output)
+    print(format_table(format_workloads(payload),
+                       title=f"perf workloads ({args.benchmark}-{scale}, "
+                             f"best of {args.repeats})"))
+    print(f"results recorded to {path}")
+
+    if args.update_baseline:
+        baseline_path = write_results(payload, args.baseline)
+        print(f"baseline updated at {baseline_path}")
+    if args.check:
+        baseline = load_results(args.baseline)
+        failures = check_regressions(payload, baseline, only=names)
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 1
+        gated = [name for name, entry in
+                 baseline.get("workloads", {}).items()
+                 if entry.get("gate") and (names is None or name in names)]
+        print(f"perf check OK: {len(gated)} gated workload(s) within 20% "
+              f"of baseline {args.baseline}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -399,6 +507,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_store(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

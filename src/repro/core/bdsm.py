@@ -19,22 +19,24 @@ The implementation adds two practical features on top of the paper:
   numerically, but it bounds the peak memory at ``n * chunk * l`` floats
   instead of ``n * m * l``, which is what lets BDSM run on the largest
   benchmarks where the dense methods break down;
-* chunks can be processed by a thread pool (``n_workers``) — the paper
-  points out that the block-diagonal structure "allows for parallel
-  calculations", and the per-chunk work (sparse solves + BLAS projections)
-  releases the GIL, so threads give a real speedup on multi-core machines
-  without changing the result.
+* chunks can be fanned across a :class:`~repro.analysis.engine.SweepEngine`
+  worker pool (``BDSMOptions.engine``, or a transient thread engine built
+  from ``n_workers``) — the paper points out that the block-diagonal
+  structure "allows for parallel calculations"; every chunk shares the one
+  cached pencil factorisation and the per-chunk work (sparse solves + BLAS
+  projections) releases the GIL, so threads give a real speedup on
+  multi-core machines without changing the result.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.analysis.engine import SweepEngine
 from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
 from repro.exceptions import ReductionError
 from repro.linalg.backends import SolverOptions
@@ -42,6 +44,7 @@ from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
 from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
+from repro.perf.timers import scoped_timer
 
 __all__ = ["BDSMOptions", "bdsm_reduce", "bdsm_store_options"]
 
@@ -54,8 +57,10 @@ class BDSMOptions:
     ----------
     port_chunk_size:
         Number of input ports whose Krylov bases are built simultaneously.
-        ``None`` processes all ports at once (fastest, most memory); small
-        values bound memory on very wide systems.
+        ``None`` processes all ports at once when running serially
+        (fastest, most memory) and auto-chunks to roughly two chunks per
+        worker when a pool is in play (``engine`` set or ``n_workers >
+        1``); small explicit values bound memory on very wide systems.
     keep_projection:
         Store each per-port basis ``V(i)`` on its block (needed for state
         reconstruction; costs ``n*l`` floats per port).
@@ -63,15 +68,28 @@ class BDSMOptions:
         Relative tolerance for dropping linearly dependent vectors inside a
         group; deflated blocks simply end up smaller than ``l``.
     n_workers:
-        Number of worker threads processing port chunks concurrently.
-        ``1`` (default) is sequential; values above 1 only make sense
-        together with ``port_chunk_size`` so there is more than one chunk.
+        Number of workers processing port chunks concurrently. ``1``
+        (default) is sequential; values above 1 only make sense together
+        with ``port_chunk_size`` so there is more than one chunk.
     solver:
         Optional :class:`~repro.linalg.backends.SolverOptions` for the
         shifted-pencil solves (backend choice, caching, iterative
         parameters).  With caching on, repeated reductions of the same grid
         at the same ``s0`` — and analyses at the same shift — reuse the
         pencil factorisation.
+    ortho_kernel:
+        Orthonormalisation kernel used inside each cluster (``"blocked"``
+        — the BLAS-3 default — or ``"columnwise"``, see
+        :data:`~repro.linalg.krylov.ORTHO_KERNELS`).  Both kernels span
+        the same per-port subspaces, so the ROM is equivalent up to an
+        orthogonal change of each block's coordinates (same poles and
+        transfer function); the choice does not enter the store key.
+    engine:
+        Optional :class:`~repro.analysis.engine.SweepEngine` whose worker
+        pool processes the independent port chunks (all sharing the one
+        cached pencil factorisation).  Takes precedence over
+        ``n_workers``; when only ``n_workers > 1`` is set, a transient
+        thread-pool engine is created for the reduction.
     """
 
     port_chunk_size: int | None = None
@@ -79,6 +97,8 @@ class BDSMOptions:
     deflation_tol: float = 1e-12
     n_workers: int = 1
     solver: SolverOptions | None = None
+    ortho_kernel: str = "blocked"
+    engine: SweepEngine | None = field(default=None, compare=False)
 
 
 def bdsm_store_options(n_moments: int, *, s0: complex = 0.0,
@@ -157,12 +177,25 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
     L = to_csr(system.L)
     n, m = B.shape
     p = L.shape[0]
-    chunk = m if opts.port_chunk_size is None else int(opts.port_chunk_size)
-    if chunk < 1:
-        raise ReductionError("port_chunk_size must be >= 1")
     if opts.n_workers < 1:
         raise ReductionError("n_workers must be >= 1")
-    budget.check_dense(n, min(chunk, m) * n_moments * max(opts.n_workers, 1),
+    if opts.engine is not None and opts.engine.executor != "thread":
+        raise ReductionError(
+            "BDSM chunk fan-out needs a thread-pool SweepEngine: the "
+            "chunks share one in-process pencil factorisation")
+    workers = (opts.engine.resolved_jobs() if opts.engine is not None
+               else opts.n_workers)
+    if opts.port_chunk_size is None:
+        # Serial: one chunk of all ports. Pooled: ~2 chunks per worker so
+        # the pool stays busy even when chunks finish unevenly — the one
+        # place this heuristic lives (the CLI and bench workloads just
+        # hand over an engine).
+        chunk = m if workers <= 1 else max(1, -(-m // (2 * workers)))
+    else:
+        chunk = int(opts.port_chunk_size)
+    if chunk < 1:
+        raise ReductionError("port_chunk_size must be >= 1")
+    budget.check_dense(n, min(chunk, m) * n_moments * max(workers, 1),
                        what="BDSM chunked projection bases")
 
     start = time.perf_counter()
@@ -171,31 +204,46 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
 
     def process_chunk(chunk_columns: list[int],
                       ) -> tuple[list[ROMBlock], OrthoStats]:
-        bases, chunk_stats, _deflated = column_clustered_krylov_bases(
-            operator, B, n_moments,
-            deflation_tol=opts.deflation_tol,
-            columns=chunk_columns)
+        with scoped_timer("bdsm.cluster_bases"):
+            bases, chunk_stats, _deflated = column_clustered_krylov_bases(
+                operator, B, n_moments,
+                deflation_tol=opts.deflation_tol,
+                columns=chunk_columns,
+                kernel=opts.ortho_kernel)
         chunk_blocks: list[ROMBlock] = []
-        for local_idx, port in enumerate(chunk_columns):
-            V_i = bases[local_idx]
-            b_i = B[:, port].toarray().reshape(-1)
-            chunk_blocks.append(ROMBlock(
-                index=port,
-                C=V_i.T @ (C @ V_i),
-                G=V_i.T @ (G @ V_i),
-                b=V_i.T @ b_i,
-                L=np.asarray(L @ V_i),
-                basis=V_i if opts.keep_projection else None))
+        with scoped_timer("bdsm.project"):
+            for local_idx, port in enumerate(chunk_columns):
+                V_i = bases[local_idx]
+                b_i = B[:, port].toarray().reshape(-1)
+                chunk_blocks.append(ROMBlock(
+                    index=port,
+                    C=V_i.T @ (C @ V_i),
+                    G=V_i.T @ (G @ V_i),
+                    b=V_i.T @ b_i,
+                    L=np.asarray(L @ V_i),
+                    basis=V_i if opts.keep_projection else None))
         return chunk_blocks, chunk_stats
 
     chunk_lists = [list(range(s, min(s + chunk, m)))
                    for s in range(0, m, chunk)]
     blocks: list[ROMBlock] = []
-    if opts.n_workers == 1 or len(chunk_lists) == 1:
-        results = [process_chunk(cols) for cols in chunk_lists]
-    else:
-        with ThreadPoolExecutor(max_workers=opts.n_workers) as pool:
-            results = list(pool.map(process_chunk, chunk_lists))
+    # The per-cluster chunks are independent (that is the paper's "allows
+    # for parallel calculations" remark) and all share the one pencil
+    # factorisation held by ``operator``, so they fan out over a
+    # SweepEngine pool: the caller's engine if provided, else a transient
+    # thread-pool engine sized by ``n_workers``.
+    engine = opts.engine
+    transient_engine = None
+    if engine is None and opts.n_workers > 1 and len(chunk_lists) > 1:
+        engine = transient_engine = SweepEngine(jobs=opts.n_workers)
+    try:
+        if engine is not None and len(chunk_lists) > 1:
+            results = engine.map_scenarios(process_chunk, chunk_lists)
+        else:
+            results = [process_chunk(cols) for cols in chunk_lists]
+    finally:
+        if transient_engine is not None:
+            transient_engine.close()
     for chunk_blocks, chunk_stats in results:
         blocks.extend(chunk_blocks)
         stats.merge(chunk_stats)

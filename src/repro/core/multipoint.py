@@ -20,7 +20,7 @@ from repro.core.bdsm import BDSMOptions
 from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
 from repro.exceptions import ReductionError
 from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
-from repro.linalg.orthogonalization import OrthoStats, modified_gram_schmidt
+from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
 
@@ -86,7 +86,8 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
             bases, point_stats, _ = column_clustered_krylov_bases(
                 operator, B, moments_per_point,
                 deflation_tol=opts.deflation_tol,
-                columns=chunk_columns)
+                columns=chunk_columns,
+                kernel=opts.ortho_kernel)
             stats.merge(point_stats)
             if complex(point).imag != 0.0:
                 bases = [np.hstack([np.real(b), np.imag(b)]) for b in bases]
@@ -98,7 +99,9 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
             combined = np.empty((n, 0))
             for bases in per_point_bases:
                 candidate = bases[local_idx]
-                new_cols, merge_stats = modified_gram_schmidt(
+                # Whole-point-block merge into the port's group basis:
+                # BLAS-3 CGS2 + rank-revealing QR per expansion point.
+                new_cols, merge_stats = block_orthonormalize(
                     candidate,
                     initial_basis=combined if combined.size else None,
                     deflation_tol=opts.deflation_tol)

@@ -135,6 +135,7 @@ class BlockDiagonalROM:
         self.method = "BDSM"
         self.reusable = True
         self._cache: dict[str, sp.spmatrix] = {}
+        self._reduced_system: ReducedSystem | None = None
 
     # ------------------------------------------------------------------ #
     # Dimensions
@@ -235,15 +236,20 @@ class BlockDiagonalROM:
 
         Useful for feeding the BDSM ROM to code that expects dense matrices
         (e.g. the PMTBR comparison); it deliberately gives up the structure,
-        so only do this for small ROMs.
+        so only do this for small ROMs.  The dense conversion is cached on
+        the ROM (the blocks are immutable after construction), so repeated
+        queries — a model server densifying per request, the Table I/II
+        harness re-measuring — pay the ``toarray`` churn once.
         """
-        return ReducedSystem(
-            C=self.C.toarray(), G=self.G.toarray(), B=self.B.toarray(),
-            L=self.L.toarray(), method="BDSM", s0=self._scalar_s0(),
-            n_moments=self.n_moments, reusable=True,
-            original_size=self.original_size,
-            original_ports=self.original_ports,
-            name=self.name)
+        if self._reduced_system is None:
+            self._reduced_system = ReducedSystem(
+                C=self.C.toarray(), G=self.G.toarray(), B=self.B.toarray(),
+                L=self.L.toarray(), method="BDSM", s0=self._scalar_s0(),
+                n_moments=self.n_moments, reusable=True,
+                original_size=self.original_size,
+                original_ports=self.original_ports,
+                name=self.name)
+        return self._reduced_system
 
     def reconstruct_state(self, z: np.ndarray) -> np.ndarray:
         """Lift a reduced state back to original coordinates (needs bases)."""

@@ -46,6 +46,7 @@ from repro.linalg.blockdiag import (
     blocks_from_matrix,
 )
 from repro.linalg.krylov import (
+    ORTHO_KERNELS,
     KrylovResult,
     ShiftedOperator,
     block_krylov_basis,
@@ -54,6 +55,7 @@ from repro.linalg.krylov import (
 from repro.linalg.moments import system_moments, transfer_moments
 from repro.linalg.orthogonalization import (
     OrthoStats,
+    block_orthonormalize,
     modified_gram_schmidt,
     orthonormalize_against,
 )
@@ -77,9 +79,11 @@ __all__ = [
     "ShiftedOperator",
     "SolverOptions",
     "SparsityInfo",
+    "ORTHO_KERNELS",
     "available_backends",
     "block_diag_sparse",
     "block_krylov_basis",
+    "block_orthonormalize",
     "block_view",
     "blocks_from_matrix",
     "clear_default_cache",

@@ -30,6 +30,7 @@ from repro.linalg.backends import (
 from repro.linalg.orthogonalization import (
     DEFAULT_DEFLATION_TOL,
     OrthoStats,
+    block_orthonormalize,
     modified_gram_schmidt,
     orthonormalize_against,
 )
@@ -38,10 +39,37 @@ from repro.linalg.sparse_utils import to_csr
 __all__ = [
     "ShiftedOperator",
     "KrylovResult",
+    "ORTHO_KERNELS",
     "block_krylov_basis",
     "column_clustered_krylov_bases",
     "krylov_candidate_blocks",
 ]
+
+#: Orthonormalisation kernels selectable by the basis constructors:
+#: ``"blocked"`` (BLAS-3 CGS2 + rank-revealing QR, the default production
+#: path) and ``"columnwise"`` (the modified-Gram-Schmidt reference the
+#: paper's operation counts are phrased in).
+ORTHO_KERNELS = ("blocked", "columnwise")
+
+
+def _orthonormalize_block(candidates, initial_basis, *, kernel: str,
+                          deflation_tol: float,
+                          require_full_rank: bool = False,
+                          ) -> tuple[np.ndarray, OrthoStats]:
+    """Dispatch one whole-block orthonormalisation to the chosen kernel."""
+    if kernel == "blocked":
+        return block_orthonormalize(
+            candidates, initial_basis=initial_basis,
+            deflation_tol=deflation_tol,
+            require_full_rank=require_full_rank)
+    if kernel == "columnwise":
+        return modified_gram_schmidt(
+            candidates, initial_basis=initial_basis,
+            deflation_tol=deflation_tol,
+            require_full_rank=require_full_rank)
+    raise ValueError(
+        f"unknown orthonormalisation kernel {kernel!r}; "
+        f"choose from {ORTHO_KERNELS}")
 
 
 class ShiftedOperator:
@@ -190,6 +218,7 @@ def block_krylov_basis(
     *,
     deflation_tol: float = DEFAULT_DEFLATION_TOL,
     require_full_rank: bool = False,
+    kernel: str = "blocked",
 ) -> KrylovResult:
     """Construct an orthonormal basis of the block Krylov subspace (PRIMA-style).
 
@@ -209,6 +238,12 @@ def block_krylov_basis(
         Relative tolerance for dropping linearly dependent candidates.
     require_full_rank:
         Raise :class:`DeflationError` instead of dropping candidates.
+    kernel:
+        Orthonormalisation kernel (see :data:`ORTHO_KERNELS`): ``"blocked"``
+        (default) runs each step block through the BLAS-3 kernel;
+        ``"columnwise"`` is the modified-Gram-Schmidt reference.  Both span
+        the same subspace, so the ROM is identical up to an orthogonal
+        change of reduced coordinates.
     """
     if order < 1:
         raise ValueError("Krylov order must be >= 1")
@@ -222,9 +257,10 @@ def block_krylov_basis(
     basis = np.empty((n, 0))
     deflated = False
     for step in range(order):
-        new_cols, step_stats = modified_gram_schmidt(
+        new_cols, step_stats = _orthonormalize_block(
             current,
-            initial_basis=basis if basis.size else None,
+            basis if basis.size else None,
+            kernel=kernel,
             deflation_tol=deflation_tol,
             require_full_rank=require_full_rank,
         )
@@ -262,6 +298,7 @@ def column_clustered_krylov_bases(
     *,
     deflation_tol: float = DEFAULT_DEFLATION_TOL,
     columns: list[int] | None = None,
+    kernel: str = "blocked",
 ) -> tuple[list[np.ndarray], OrthoStats, bool]:
     """Construct one thin Krylov basis per input column (BDSM clustering).
 
@@ -283,6 +320,15 @@ def column_clustered_krylov_bases(
         Relative deflation tolerance inside each group.
     columns:
         Optional subset of column indices to build bases for (default: all).
+    kernel:
+        Orthonormalisation kernel (see :data:`ORTHO_KERNELS`).  The default
+        ``"blocked"`` path gathers each group's ``l`` candidates (column
+        ``i`` of every ``M_j``) into one ``n x l`` block and orthonormalises
+        it with a single BLAS-3 call; ``"columnwise"`` is the per-vector
+        reference loop.  The blocked path holds all candidate blocks at
+        once (``n x len(columns) x l`` floats) — chunk the columns (as
+        :func:`~repro.core.bdsm.bdsm_reduce` does) to bound memory on very
+        wide systems.
 
     Returns
     -------
@@ -294,6 +340,10 @@ def column_clustered_krylov_bases(
     """
     if order < 1:
         raise ValueError("Krylov order must be >= 1")
+    if kernel not in ORTHO_KERNELS:
+        raise ValueError(
+            f"unknown orthonormalisation kernel {kernel!r}; "
+            f"choose from {ORTHO_KERNELS}")
     B_dense = B.toarray() if sp.issparse(B) else np.asarray(B, dtype=float)
     if B_dense.ndim == 1:
         B_dense = B_dense.reshape(-1, 1)
@@ -314,26 +364,47 @@ def column_clustered_krylov_bases(
         current = current.reshape(-1, 1)
 
     bases: list[np.ndarray] = [np.empty((operator.n, 0)) for _ in selected]
-    for step in range(order):
+    if kernel == "blocked":
+        # Gather the candidate blocks M_1..M_l first (the recursion applies
+        # the operator to the *raw* blocks either way, so the candidates are
+        # identical to the column-wise path), then orthonormalise each
+        # group's n x l block with one BLAS-3 call.
+        candidate_blocks = [current]
+        for _ in range(order - 1):
+            current = np.asarray(operator.apply(current))
+            if current.ndim == 1:
+                current = current.reshape(-1, 1)
+            candidate_blocks.append(current)
         for local_idx in range(len(selected)):
-            candidate = current[:, local_idx]
-            existing = bases[local_idx] if bases[local_idx].size else None
-            q = orthonormalize_against(
-                candidate, existing,
-                stats=stats, deflation_tol=deflation_tol,
-            )
-            if q is None:
+            group = np.column_stack(
+                [blk[:, local_idx] for blk in candidate_blocks])
+            basis_i, group_stats = block_orthonormalize(
+                group, deflation_tol=deflation_tol)
+            stats.merge(group_stats)
+            if group_stats.deflations:
                 deflated = True
-                continue
-            if bases[local_idx].size:
-                bases[local_idx] = np.column_stack([bases[local_idx], q])
-            else:
-                bases[local_idx] = q.reshape(-1, 1)
-        if step == order - 1:
-            break
-        current = np.asarray(operator.apply(current))
-        if current.ndim == 1:
-            current = current.reshape(-1, 1)
+            bases[local_idx] = basis_i
+    else:
+        for step in range(order):
+            for local_idx in range(len(selected)):
+                candidate = current[:, local_idx]
+                existing = bases[local_idx] if bases[local_idx].size else None
+                q = orthonormalize_against(
+                    candidate, existing,
+                    stats=stats, deflation_tol=deflation_tol,
+                )
+                if q is None:
+                    deflated = True
+                    continue
+                if bases[local_idx].size:
+                    bases[local_idx] = np.column_stack([bases[local_idx], q])
+                else:
+                    bases[local_idx] = q.reshape(-1, 1)
+            if step == order - 1:
+                break
+            current = np.asarray(operator.apply(current))
+            if current.ndim == 1:
+                current = current.reshape(-1, 1)
 
     for local_idx, basis in enumerate(bases):
         if basis.shape[1] == 0:

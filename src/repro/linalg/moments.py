@@ -55,9 +55,16 @@ def system_moments(C, G, B, L, n_moments: int, s0: complex = 0.0,
     if n_moments < 1:
         raise ValueError("n_moments must be >= 1")
     op = ShiftedOperator(C, G, s0)
-    L_dense = L.toarray() if sp.issparse(L) else np.asarray(L, dtype=float)
-    if L_dense.ndim == 1:
-        L_dense = L_dense.reshape(1, -1)
+    # A sparse L is applied directly (CSR @ dense block is a sparse BLAS
+    # product returning an ndarray) — no densification of the p x n output
+    # matrix, which for wide grids used to dominate the memory of repeated
+    # moment computations.
+    if sp.issparse(L):
+        L_mat = L.tocsr()
+    else:
+        L_mat = np.asarray(L, dtype=float)
+        if L_mat.ndim == 1:
+            L_mat = L_mat.reshape(1, -1)
 
     moments: list[np.ndarray] = []
     # R_0 = (s0 C - G)^{-1} B ;  R_{k+1} = -A R_k
@@ -65,7 +72,7 @@ def system_moments(C, G, B, L, n_moments: int, s0: complex = 0.0,
     if current.ndim == 1:
         current = current.reshape(-1, 1)
     for _ in range(n_moments):
-        moments.append(L_dense @ current)
+        moments.append(np.asarray(L_mat @ current))
         current = -np.asarray(op.apply(current))
         if current.ndim == 1:
             current = current.reshape(-1, 1)

@@ -135,12 +135,34 @@ class ReducedSystem:
             raise ReductionError("reduced C and G must be square and equal")
         if self.B.shape[0] != q or self.L.shape[1] != q:
             raise ReductionError("reduced B/L dimensions are inconsistent")
+        # Lazy complex casts reused by every transfer evaluation (a sweep
+        # calls transfer_function once per frequency point; re-casting B
+        # each time re-densified the whole input block per point).
+        self._B_complex: np.ndarray | None = None
 
     @staticmethod
     def _dense(matrix) -> np.ndarray:
+        """Densify preserving complexness (int inputs still become float).
+
+        The sparse branch always preserved the stored dtype; the ndarray
+        branch used to coerce to ``float`` unconditionally, silently
+        dropping the imaginary part of complex reduced pencils (e.g. a
+        ROM built around a complex expansion point without the real-split
+        trick).
+        """
         if sp.issparse(matrix):
             return matrix.toarray()
-        return np.asarray(matrix, dtype=float)
+        arr = np.asarray(matrix)
+        if np.iscomplexobj(arr):
+            return arr.astype(complex, copy=False)
+        return arr.astype(float, copy=False)
+
+    @property
+    def B_complex(self) -> np.ndarray:
+        """The input matrix pre-cast to complex (cached per ROM)."""
+        if self._B_complex is None:
+            self._B_complex = self.B.astype(complex)
+        return self._B_complex
 
     # ------------------------------------------------------------------ #
     # DescriptorSystem-compatible interface
@@ -179,7 +201,7 @@ class ReducedSystem:
         """Evaluate ``H_r(s) = L_r (s C_r - G_r)^{-1} B_r`` densely."""
         pencil = s * self.C - self.G
         try:
-            X = np.linalg.solve(pencil, self.B.astype(complex))
+            X = np.linalg.solve(pencil, self.B_complex)
         except np.linalg.LinAlgError as exc:
             raise ReductionError(
                 f"reduced pencil is singular at s={s}: {exc}") from exc
@@ -188,7 +210,7 @@ class ReducedSystem:
     def transfer_entry(self, s: complex, output: int, port: int) -> complex:
         """Evaluate one entry of the reduced transfer matrix."""
         pencil = s * self.C - self.G
-        x = np.linalg.solve(pencil, self.B[:, port].astype(complex))
+        x = np.linalg.solve(pencil, self.B_complex[:, port])
         return complex(self.L[output, :] @ x)
 
     def reconstruct_state(self, z: np.ndarray) -> np.ndarray:

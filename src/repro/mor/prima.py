@@ -22,9 +22,10 @@ import numpy as np
 from repro.exceptions import ReductionError
 from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
-from repro.linalg.orthogonalization import OrthoStats, modified_gram_schmidt
+from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ReducedSystem, ResourceBudget
+from repro.perf.timers import scoped_timer
 
 __all__ = ["prima_reduce", "prima_store_options", "congruence_project"]
 
@@ -63,7 +64,9 @@ def congruence_project(system, V: np.ndarray, *, method: str,
             f"{C.shape[0]} states")
     Cr = V.T @ (C @ V)
     Gr = V.T @ (G @ V)
-    Br = V.T @ B.toarray()
+    # (B^T V)^T keeps B sparse through the product instead of densifying
+    # the full n x m input block just to feed a GEMM.
+    Br = np.asarray(B.T @ V).T
     Lr = (L @ V)
     Lr = Lr if isinstance(Lr, np.ndarray) else np.asarray(Lr)
     const = getattr(system, "const_input", None)
@@ -94,7 +97,8 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
                  keep_projection: bool = False,
                  deflation_tol: float = _DEFAULT_DEFLATION_TOL,
                  solver: SolverOptions | None = None,
-                 store=None):
+                 store=None,
+                 ortho_kernel: str = "blocked"):
     """Reduce ``system`` with PRIMA, matching ``n_moments`` block moments.
 
     Parameters
@@ -123,6 +127,13 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
         across processes, keyed on the system content and ``(n_moments,
         s0, deflation_tol, keep_projection)``.  On a store hit the ROM is
         loaded instead of rebuilt (empty stats, load time returned).
+    ortho_kernel:
+        Orthonormalisation kernel (``"blocked"`` — the BLAS-3 default —
+        or ``"columnwise"``, see
+        :data:`~repro.linalg.krylov.ORTHO_KERNELS`).  The kernels span the
+        same subspace, so the ROM is equivalent up to an orthogonal change
+        of reduced coordinates (same poles, moments and transfer function);
+        the choice therefore does not enter the store key.
 
     Returns
     -------
@@ -154,8 +165,10 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
 
     start = time.perf_counter()
     operator = ShiftedOperator(system.C, system.G, s0=s0, solver=solver)
-    krylov = block_krylov_basis(operator, system.B, n_moments,
-                                deflation_tol=deflation_tol)
+    with scoped_timer("prima.krylov"):
+        krylov = block_krylov_basis(operator, system.B, n_moments,
+                                    deflation_tol=deflation_tol,
+                                    kernel=ortho_kernel)
     basis = krylov.basis
     stats = krylov.stats
     if np.iscomplexobj(basis) or complex(s0).imag != 0.0:
@@ -163,15 +176,16 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
         # re-orthonormalise so the ROM stays real — the standard real
         # rational-Arnoldi trick, same as multipoint_prima_reduce.
         split = np.hstack([np.real(basis), np.imag(basis)])
-        basis, split_stats = modified_gram_schmidt(
+        basis, split_stats = block_orthonormalize(
             np.asarray(split, dtype=float), deflation_tol=deflation_tol)
         merged = OrthoStats()
         merged.merge(krylov.stats)
         merged.merge(split_stats)
         stats = merged
-    rom = congruence_project(
-        system, basis, method="PRIMA", s0=s0, n_moments=n_moments,
-        reusable=True, keep_projection=keep_projection)
+    with scoped_timer("prima.project"):
+        rom = congruence_project(
+            system, basis, method="PRIMA", s0=s0, n_moments=n_moments,
+            reusable=True, keep_projection=keep_projection)
     elapsed = time.perf_counter() - start
     if store is not None:
         store.put(store_key, rom, method="PRIMA", options=store_options,

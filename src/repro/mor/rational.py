@@ -23,7 +23,7 @@ import numpy as np
 from repro.exceptions import ReductionError
 from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
-from repro.linalg.orthogonalization import OrthoStats, modified_gram_schmidt
+from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
 from repro.mor.base import ResourceBudget
 from repro.mor.prima import congruence_project
 
@@ -86,7 +86,9 @@ def multipoint_prima_reduce(system, moments_per_point: int,
         candidate = krylov.basis
         if np.iscomplexobj(candidate) or complex(point).imag != 0.0:
             candidate = np.hstack([np.real(candidate), np.imag(candidate)])
-        new_cols, merge_stats = modified_gram_schmidt(
+        # Whole-block merge against the combined basis: one BLAS-3 CGS2
+        # sweep plus a rank-revealing QR instead of a per-column MGS loop.
+        new_cols, merge_stats = block_orthonormalize(
             np.asarray(candidate, dtype=float),
             initial_basis=combined if combined.size else None,
             deflation_tol=deflation_tol)

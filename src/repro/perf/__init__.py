@@ -1,0 +1,44 @@
+"""Performance instrumentation and regression-gated benchmarking.
+
+Contents
+--------
+``timers``
+    Lightweight scoped timers/counters (:func:`scoped_timer`,
+    :class:`PerfRegistry`) the reduction hot paths record into.
+``bench``
+    :class:`BenchmarkRunner` — times named workloads, writes
+    ``benchmarks/results/*.json`` payloads, and
+    :func:`check_regressions` gates speedup ratios against a checked-in
+    baseline.
+``workloads``
+    The named reduction workloads behind the ``repro bench`` CLI
+    subcommand (imported lazily by the CLI — not re-exported here, so the
+    instrumented reducers can import :mod:`repro.perf.timers` without a
+    cycle).
+"""
+
+from repro.perf.bench import (
+    BenchmarkRunner,
+    check_regressions,
+    format_workloads,
+    load_results,
+)
+from repro.perf.timers import (
+    PerfRegistry,
+    TimerStat,
+    default_registry,
+    increment_counter,
+    scoped_timer,
+)
+
+__all__ = [
+    "BenchmarkRunner",
+    "PerfRegistry",
+    "TimerStat",
+    "check_regressions",
+    "default_registry",
+    "format_workloads",
+    "increment_counter",
+    "load_results",
+    "scoped_timer",
+]

@@ -1,0 +1,223 @@
+"""Benchmark runner with recorded results and baseline regression gating.
+
+Every performance claim in this library should land with a *recorded*
+number.  :class:`BenchmarkRunner` times named workloads (best-of-``repeats``
+wall clock), collects their result dictionaries and writes them to
+``benchmarks/results/*.json``; :func:`check_regressions` then compares a
+fresh run against a checked-in baseline and reports every workload whose
+**speedup ratio** regressed beyond a tolerance.
+
+Speedups, not absolute seconds, are what the gate compares: a ratio such
+as "blocked orthogonalisation over column-wise" is (to first order)
+machine-independent, while raw seconds on a CI runner are not.  Workloads
+opt into gating with ``"gate": True`` in their entry; purely informational
+timings (e.g. pool speedups on tiny smoke grids, where thread overhead
+dominates) record ``"gate": False`` and are skipped by the check.
+
+JSON schema (version 1)::
+
+    {
+      "schema": 1,
+      "scale": "smoke",
+      "workloads": {
+        "<name>": {"seconds": 0.01, "speedup": 3.2, "gate": true, ...}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "BenchmarkRunner",
+    "check_regressions",
+    "load_results",
+    "format_workloads",
+    "write_results",
+]
+
+#: Schema version stamped into every results payload.
+SCHEMA_VERSION = 1
+
+#: Fraction a gated speedup may drop below its baseline before failing.
+DEFAULT_TOLERANCE = 0.20
+
+
+class BenchmarkRunner:
+    """Times named workloads and accumulates their result records.
+
+    Parameters
+    ----------
+    repeats:
+        Default number of repetitions per timing; the *best* (minimum)
+        wall-clock time is kept, which is the standard way to suppress
+        scheduler noise on shared machines.
+    """
+
+    def __init__(self, repeats: int = 3) -> None:
+        if repeats < 1:
+            raise ValidationError("repeats must be >= 1")
+        self.repeats = repeats
+        self._workloads: dict[str, dict] = {}
+        self._meta: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    def time_callable(self, fn, *, repeats: int | None = None,
+                      setup=None) -> float:
+        """Best-of-``repeats`` wall-clock seconds of ``fn()``.
+
+        ``setup`` (if given) runs before *every* repetition, outside the
+        timed region — use it to clear caches so every repetition is a
+        cold run.
+        """
+        reps = self.repeats if repeats is None else max(1, int(repeats))
+        best = None
+        for _ in range(reps):
+            if setup is not None:
+                setup()
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return float(best)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, name: str, entry: dict) -> dict:
+        """Store one workload's result entry (a JSON-ready dict)."""
+        self._workloads[str(name)] = dict(entry)
+        return self._workloads[str(name)]
+
+    def set_meta(self, **meta) -> None:
+        """Attach top-level metadata (scale, grid sizes, ...)."""
+        self._meta.update(meta)
+
+    @property
+    def workloads(self) -> dict[str, dict]:
+        """The recorded workload entries (by name)."""
+        return dict(self._workloads)
+
+    def to_payload(self) -> dict:
+        """The JSON payload for this run."""
+        return {"schema": SCHEMA_VERSION, **self._meta,
+                "workloads": {name: dict(entry)
+                              for name, entry in self._workloads.items()}}
+
+    def write(self, path) -> Path:
+        """Write the payload to ``path`` (parents created), return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+
+def write_results(payload: dict, path) -> Path:
+    """Write a results payload to ``path`` (parents created), return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(path) -> dict:
+    """Load a results payload, validating the schema version."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"benchmark results file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "workloads" not in payload:
+        raise ValidationError(f"{path} is not a benchmark results payload")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path} has schema {payload.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    return payload
+
+
+def check_regressions(current: dict, baseline: dict, *,
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      only: list[str] | None = None) -> list[str]:
+    """Compare a fresh payload against a baseline payload.
+
+    Returns a list of human-readable failure messages (empty = no
+    regression).  Only baseline workloads with ``"gate": true`` are
+    enforced, and only their ``speedup`` ratios: a gated workload fails
+    when it is missing from the current run, or when its speedup dropped
+    below ``(1 - tolerance)`` times the baseline speedup.  Speedup floors
+    are grid-specific, so mismatched ``benchmark``/``scale`` metadata
+    between the payloads is itself a failure rather than a silent
+    apples-to-oranges pass.
+
+    Parameters
+    ----------
+    only:
+        Optional workload-name filter: gate only these names (for
+        selective runs such as ``repro bench --workload X --check``);
+        other gated baseline workloads are skipped instead of reported
+        missing.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValidationError("tolerance must be in [0, 1)")
+    failures: list[str] = []
+    for key in ("benchmark", "scale"):
+        base_value = baseline.get(key)
+        value = current.get(key)
+        if base_value is not None and value is not None \
+                and value != base_value:
+            failures.append(
+                f"{key} mismatch: current results are for {value!r} but "
+                f"the baseline was recorded on {base_value!r}")
+    if failures:
+        return failures
+    current_workloads = current.get("workloads", {})
+    for name, base_entry in baseline.get("workloads", {}).items():
+        if not base_entry.get("gate"):
+            continue
+        if only is not None and name not in only:
+            continue
+        entry = current_workloads.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        base_speedup = base_entry.get("speedup")
+        speedup = entry.get("speedup")
+        if base_speedup is None:
+            continue
+        if speedup is None:
+            failures.append(f"{name}: current results record no speedup")
+            continue
+        floor = float(base_speedup) * (1.0 - tolerance)
+        if float(speedup) < floor:
+            failures.append(
+                f"{name}: speedup {float(speedup):.2f}x regressed below "
+                f"{floor:.2f}x (baseline {float(base_speedup):.2f}x "
+                f"- {tolerance:.0%} tolerance)")
+    return failures
+
+
+def format_workloads(payload: dict) -> list[dict]:
+    """Flatten a payload into printable table rows."""
+    rows = []
+    for name, entry in sorted(payload.get("workloads", {}).items()):
+        row: dict[str, object] = {"workload": name}
+        if "seconds" in entry:
+            row["seconds"] = round(float(entry["seconds"]), 4)
+        if "baseline_seconds" in entry:
+            row["baseline (s)"] = round(float(entry["baseline_seconds"]), 4)
+        if "speedup" in entry:
+            row["speedup"] = f"{float(entry['speedup']):.2f}x"
+        row["gated"] = "yes" if entry.get("gate") else "no"
+        rows.append(row)
+    return rows

@@ -1,0 +1,182 @@
+"""Named performance workloads for the ``repro bench`` runner.
+
+Each workload times one hot path of the reduction stack on a registered
+synthetic benchmark grid and returns a JSON-ready entry for
+:class:`~repro.perf.bench.BenchmarkRunner`.  The reduction workloads record
+both the production (blocked BLAS-3) and the reference (column-wise MGS)
+kernel so the *speedup ratio* — the machine-independent quantity the CI
+gate enforces — is part of every recorded run:
+
+``ortho_blocked_vs_columnwise``
+    The orthogonalisation kernels head-to-head on one PRIMA-style global
+    candidate block (``m*l`` Krylov candidates of the grid).
+``bdsm_cold``
+    Cold BDSM reduction (factorisation cache cleared before every
+    repetition), blocked vs. column-wise cluster orthonormalisation.
+``prima_cold``
+    Cold PRIMA reduction, blocked vs. column-wise global
+    orthonormalisation.
+``bdsm_pooled_clusters``
+    Cold BDSM serial vs. per-cluster chunks fanned over a thread-pool
+    :class:`~repro.analysis.engine.SweepEngine`.  Recorded but never gated
+    — pool speedups depend on the runner's core count.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.engine import SweepEngine
+from repro.circuit.benchmarks import BENCHMARKS, make_benchmark
+from repro.core.bdsm import BDSMOptions, bdsm_reduce
+from repro.exceptions import ValidationError
+from repro.linalg.backends import clear_default_cache
+from repro.linalg.krylov import ShiftedOperator, krylov_candidate_blocks
+from repro.linalg.orthogonalization import (
+    block_orthonormalize,
+    modified_gram_schmidt,
+)
+from repro.mor.prima import prima_reduce
+from repro.perf.bench import BenchmarkRunner
+
+__all__ = ["WORKLOADS", "run_workloads", "workload_names"]
+
+#: Grid the reduction workloads run on — the paper's ckt2 (Table II), the
+#: scale (smoke/laptop) chosen by the caller.
+DEFAULT_BENCHMARK = "ckt2"
+
+
+def _grid(benchmark: str, scale: str):
+    system = make_benchmark(benchmark, scale=scale)
+    n_moments = BENCHMARKS[benchmark].matched_moments
+    return system, n_moments
+
+
+def _ortho_kernels(runner: BenchmarkRunner, benchmark: str,
+                   scale: str) -> dict:
+    system, n_moments = _grid(benchmark, scale)
+    operator = ShiftedOperator(system.C, system.G, s0=0.0)
+    candidates = np.hstack(
+        krylov_candidate_blocks(operator, system.B, n_moments))
+    blocked = runner.time_callable(
+        lambda: block_orthonormalize(candidates))
+    columnwise = runner.time_callable(
+        lambda: modified_gram_schmidt(candidates))
+    rank_blocked = block_orthonormalize(candidates)[0].shape[1]
+    rank_columnwise = modified_gram_schmidt(candidates)[0].shape[1]
+    return {
+        "seconds": blocked,
+        "baseline_seconds": columnwise,
+        "speedup": columnwise / blocked,
+        "gate": True,
+        "grid": system.name,
+        "n": int(system.size),
+        "candidates": int(candidates.shape[1]),
+        "rank_blocked": int(rank_blocked),
+        "rank_columnwise": int(rank_columnwise),
+    }
+
+
+def _bdsm_cold(runner: BenchmarkRunner, benchmark: str, scale: str) -> dict:
+    system, n_moments = _grid(benchmark, scale)
+
+    def reduce_with(kernel: str) -> float:
+        options = BDSMOptions(ortho_kernel=kernel)
+        return runner.time_callable(
+            lambda: bdsm_reduce(system, n_moments, options=options),
+            setup=clear_default_cache)
+
+    blocked = reduce_with("blocked")
+    columnwise = reduce_with("columnwise")
+    return {
+        "seconds": blocked,
+        "baseline_seconds": columnwise,
+        "speedup": columnwise / blocked,
+        "gate": True,
+        "grid": system.name,
+        "n": int(system.size),
+        "ports": int(system.n_ports),
+        "n_moments": int(n_moments),
+    }
+
+
+def _prima_cold(runner: BenchmarkRunner, benchmark: str, scale: str) -> dict:
+    system, n_moments = _grid(benchmark, scale)
+
+    def reduce_with(kernel: str) -> float:
+        return runner.time_callable(
+            lambda: prima_reduce(system, n_moments, ortho_kernel=kernel),
+            setup=clear_default_cache)
+
+    blocked = reduce_with("blocked")
+    columnwise = reduce_with("columnwise")
+    return {
+        "seconds": blocked,
+        "baseline_seconds": columnwise,
+        "speedup": columnwise / blocked,
+        "gate": True,
+        "grid": system.name,
+        "n": int(system.size),
+        "ports": int(system.n_ports),
+        "n_moments": int(n_moments),
+    }
+
+
+def _bdsm_pooled(runner: BenchmarkRunner, benchmark: str, scale: str) -> dict:
+    system, n_moments = _grid(benchmark, scale)
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial = runner.time_callable(
+        lambda: bdsm_reduce(system, n_moments, options=BDSMOptions()),
+        setup=clear_default_cache)
+    with SweepEngine(jobs=jobs) as engine:
+        options = BDSMOptions(engine=engine)  # reducer auto-chunks
+        pooled = runner.time_callable(
+            lambda: bdsm_reduce(system, n_moments, options=options),
+            setup=clear_default_cache)
+    return {
+        "seconds": pooled,
+        "baseline_seconds": serial,
+        "speedup": serial / pooled,
+        # Pool speedups depend on the machine's core count — recorded for
+        # the trajectory, never gated.
+        "gate": False,
+        "grid": system.name,
+        "jobs": int(jobs),
+    }
+
+
+#: Registry of the named workloads (name -> fn(runner, benchmark, scale)).
+WORKLOADS = {
+    "ortho_blocked_vs_columnwise": _ortho_kernels,
+    "bdsm_cold": _bdsm_cold,
+    "prima_cold": _prima_cold,
+    "bdsm_pooled_clusters": _bdsm_pooled,
+}
+
+
+def workload_names() -> list[str]:
+    """All registered workload names, in registry order."""
+    return list(WORKLOADS)
+
+
+def run_workloads(names=None, *, benchmark: str = DEFAULT_BENCHMARK,
+                  scale: str = "laptop", repeats: int = 3) -> dict:
+    """Run the named workloads (default: all) and return the payload."""
+    selected = workload_names() if names is None else list(names)
+    for name in selected:
+        if name not in WORKLOADS:
+            raise ValidationError(
+                f"unknown workload {name!r}; "
+                f"available: {workload_names()}")
+    if benchmark not in BENCHMARKS:
+        raise ValidationError(
+            f"unknown benchmark {benchmark!r}; "
+            f"available: {sorted(BENCHMARKS)}")
+    runner = BenchmarkRunner(repeats=repeats)
+    runner.set_meta(benchmark=benchmark, scale=scale, repeats=repeats)
+    for name in selected:
+        runner.record(name, WORKLOADS[name](runner, benchmark, scale))
+    return runner.to_payload()

@@ -1,0 +1,197 @@
+"""Blocked vs. column-wise orthogonalisation parity at the reducer level.
+
+The blocked BLAS-3 kernel must be a drop-in for the column-wise reference:
+same deflation decisions, same spans (hence ROM poles and transfer samples
+equal within roundoff — the bases differ only by an orthogonal change of
+reduced coordinates), and the same :class:`OrthoStats` counters so the
+paper's Fig. 2 cost comparison is kernel-independent.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.analysis.engine import SweepEngine
+from repro.core.bdsm import BDSMOptions, bdsm_reduce
+from repro.exceptions import DeflationError, ReductionError
+from repro.linalg.krylov import (
+    ShiftedOperator,
+    block_krylov_basis,
+    column_clustered_krylov_bases,
+)
+from repro.mor.prima import prima_reduce
+
+N_MOMENTS = 3
+
+
+def _stats_tuple(stats):
+    return (stats.inner_products, stats.axpy_updates,
+            stats.normalizations, stats.deflations)
+
+
+def _sorted_poles(rom) -> np.ndarray:
+    """Block-pencil spectrum, real/imag parts sorted independently
+    (conjugate pairs may swap order under roundoff)."""
+    poles = []
+    for block in rom.blocks:
+        vals = scipy.linalg.eig(block.G, block.C, right=False)
+        poles.extend(np.asarray(vals))
+    poles = np.asarray(poles, dtype=complex)
+    return np.sort(poles.real) + 1j * np.sort(poles.imag)
+
+
+def _same_span(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    if a.shape != b.shape:
+        return False
+    return (np.allclose(a @ (a.conj().T @ b), b, atol=atol)
+            and np.allclose(b @ (b.conj().T @ a), a, atol=atol))
+
+
+GRID_FIXTURES = ["rc_grid_system", "rlc_grid_system"]
+
+
+@pytest.mark.parametrize("grid", GRID_FIXTURES)
+class TestKrylovKernelParity:
+    def test_block_krylov_basis(self, grid, request):
+        system = request.getfixturevalue(grid)
+        results = {}
+        for kernel in ("blocked", "columnwise"):
+            operator = ShiftedOperator(system.C, system.G, s0=0.0)
+            results[kernel] = block_krylov_basis(
+                operator, system.B, N_MOMENTS, kernel=kernel)
+        blocked, columnwise = results["blocked"], results["columnwise"]
+        assert blocked.size == columnwise.size
+        assert blocked.deflated == columnwise.deflated
+        assert _stats_tuple(blocked.stats) == _stats_tuple(columnwise.stats)
+        assert _same_span(blocked.basis, columnwise.basis)
+
+    def test_column_clustered_bases(self, grid, request):
+        system = request.getfixturevalue(grid)
+        results = {}
+        for kernel in ("blocked", "columnwise"):
+            operator = ShiftedOperator(system.C, system.G, s0=0.0)
+            results[kernel] = column_clustered_krylov_bases(
+                operator, system.B, N_MOMENTS, kernel=kernel)
+        bases_b, stats_b, deflated_b = results["blocked"]
+        bases_c, stats_c, deflated_c = results["columnwise"]
+        assert deflated_b == deflated_c
+        assert _stats_tuple(stats_b) == _stats_tuple(stats_c)
+        assert len(bases_b) == len(bases_c)
+        for group_b, group_c in zip(bases_b, bases_c):
+            assert group_b.shape == group_c.shape
+            assert _same_span(group_b, group_c)
+
+
+@pytest.mark.parametrize("grid", GRID_FIXTURES)
+class TestReducerKernelParity:
+    def test_bdsm_poles_and_transfer(self, grid, request):
+        system = request.getfixturevalue(grid)
+        roms = {}
+        for kernel in ("blocked", "columnwise"):
+            options = BDSMOptions(ortho_kernel=kernel)
+            roms[kernel], _, _ = bdsm_reduce(system, N_MOMENTS,
+                                             options=options)
+        blocked, columnwise = roms["blocked"], roms["columnwise"]
+        assert [b.order for b in blocked.blocks] == \
+            [b.order for b in columnwise.blocks]
+        poles_b, poles_c = _sorted_poles(blocked), _sorted_poles(columnwise)
+        scale = np.max(np.abs(poles_c))
+        assert np.allclose(poles_b, poles_c, rtol=1e-6, atol=1e-6 * scale)
+        for s in (0.0, 1j * 1e6, 1j * 1e9):
+            assert np.allclose(blocked.transfer_function(s),
+                               columnwise.transfer_function(s),
+                               rtol=1e-8, atol=1e-12)
+
+    def test_prima_poles_and_transfer(self, grid, request):
+        system = request.getfixturevalue(grid)
+        roms = {}
+        for kernel in ("blocked", "columnwise"):
+            roms[kernel], _, _ = prima_reduce(system, N_MOMENTS,
+                                              ortho_kernel=kernel)
+        blocked, columnwise = roms["blocked"], roms["columnwise"]
+        assert blocked.size == columnwise.size
+        eig_b = scipy.linalg.eig(blocked.G, blocked.C, right=False)
+        eig_c = scipy.linalg.eig(columnwise.G, columnwise.C, right=False)
+        poles_b = np.sort(eig_b.real) + 1j * np.sort(eig_b.imag)
+        poles_c = np.sort(eig_c.real) + 1j * np.sort(eig_c.imag)
+        scale = np.max(np.abs(poles_c))
+        assert np.allclose(poles_b, poles_c, rtol=1e-6, atol=1e-6 * scale)
+        for s in (0.0, 1j * 1e6, 1j * 1e9):
+            assert np.allclose(blocked.transfer_function(s),
+                               columnwise.transfer_function(s),
+                               rtol=1e-8, atol=1e-12)
+
+
+class TestRequireFullRankParity:
+    def test_blocked_kernel_raises_on_dependent_candidates(
+            self, rc_grid_system):
+        # Requesting more moments than the reachable subspace supports
+        # must deflate; with require_full_rank the blocked kernel raises
+        # the same DeflationError the column-wise kernel does.
+        system = rc_grid_system
+        order = system.size  # guaranteed to exhaust the subspace
+        for kernel in ("blocked", "columnwise"):
+            operator = ShiftedOperator(system.C, system.G, s0=0.0)
+            with pytest.raises(DeflationError):
+                block_krylov_basis(operator, system.B, order,
+                                   require_full_rank=True, kernel=kernel)
+
+    def test_unknown_kernel_rejected(self, rc_grid_system):
+        operator = ShiftedOperator(rc_grid_system.C, rc_grid_system.G,
+                                   s0=0.0)
+        with pytest.raises(ValueError, match="kernel"):
+            block_krylov_basis(operator, rc_grid_system.B, 2,
+                               kernel="magic")
+        with pytest.raises(ValueError, match="kernel"):
+            column_clustered_krylov_bases(operator, rc_grid_system.B, 2,
+                                          kernel="magic")
+
+
+class TestPooledClusterParity:
+    def test_engine_pooled_chunks_match_serial(self, rlc_grid_system):
+        serial, serial_stats, _ = bdsm_reduce(
+            rlc_grid_system, N_MOMENTS,
+            options=BDSMOptions(port_chunk_size=3))
+        with SweepEngine(jobs=2) as engine:
+            pooled, pooled_stats, _ = bdsm_reduce(
+                rlc_grid_system, N_MOMENTS,
+                options=BDSMOptions(port_chunk_size=3, engine=engine))
+        assert _stats_tuple(serial_stats) == _stats_tuple(pooled_stats)
+        assert len(serial.blocks) == len(pooled.blocks)
+        for blk_s, blk_p in zip(serial.blocks, pooled.blocks):
+            assert blk_s.index == blk_p.index
+            assert np.array_equal(blk_s.C, blk_p.C)
+            assert np.array_equal(blk_s.G, blk_p.G)
+            assert np.array_equal(blk_s.b, blk_p.b)
+            assert np.array_equal(blk_s.L, blk_p.L)
+
+    def test_engine_auto_chunking_matches_serial(self, rlc_grid_system):
+        # With no explicit port_chunk_size the reducer chunks the ports
+        # itself when a pool is in play; the result must stay identical.
+        serial, _, _ = bdsm_reduce(rlc_grid_system, N_MOMENTS)
+        with SweepEngine(jobs=2) as engine:
+            pooled, _, _ = bdsm_reduce(
+                rlc_grid_system, N_MOMENTS,
+                options=BDSMOptions(engine=engine))
+        assert len(serial.blocks) == len(pooled.blocks)
+        for blk_s, blk_p in zip(serial.blocks, pooled.blocks):
+            assert np.array_equal(blk_s.C, blk_p.C)
+            assert np.array_equal(blk_s.G, blk_p.G)
+            assert np.array_equal(blk_s.b, blk_p.b)
+
+    def test_n_workers_fallback_matches_serial(self, rlc_grid_system):
+        serial, _, _ = bdsm_reduce(rlc_grid_system, N_MOMENTS,
+                                   options=BDSMOptions(port_chunk_size=3))
+        pooled, _, _ = bdsm_reduce(
+            rlc_grid_system, N_MOMENTS,
+            options=BDSMOptions(port_chunk_size=3, n_workers=2))
+        for blk_s, blk_p in zip(serial.blocks, pooled.blocks):
+            assert np.array_equal(blk_s.C, blk_p.C)
+            assert np.array_equal(blk_s.G, blk_p.G)
+
+    def test_process_engine_rejected(self, rc_grid_system):
+        engine = SweepEngine(jobs=2, executor="process")
+        with pytest.raises(ReductionError, match="thread"):
+            bdsm_reduce(rc_grid_system, 2,
+                        options=BDSMOptions(port_chunk_size=2,
+                                            engine=engine))

@@ -65,6 +65,43 @@ class TestSystemMoments:
                            np.ones((1, 2)), 0)
 
 
+class _PoisonedToarray(sp.csr_matrix):
+    """CSR matrix whose densification is forbidden."""
+
+    def toarray(self, *args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("toarray() must not be called on L")
+
+    todense = toarray
+
+
+class TestSparseOutputMatrix:
+    def test_sparse_L_is_never_densified(self, rng):
+        # Regression: system_moments used to call L.toarray() on every
+        # invocation; the sparse output matrix must now flow through the
+        # sparse matmul untouched.
+        n = 6
+        G = -(np.diag(2.0 * np.ones(n)) + 0.1 * np.eye(n, k=1)
+              + 0.1 * np.eye(n, k=-1))
+        C = np.diag(rng.uniform(0.5, 1.0, size=n))
+        B = rng.normal(size=(n, 2))
+        L = _PoisonedToarray(sp.csr_matrix(rng.normal(size=(2, n))))
+        moments = system_moments(C, G, B, L, 3)
+        assert len(moments) == 3
+        assert all(isinstance(M, np.ndarray) and M.shape == (2, 2)
+                   for M in moments)
+
+    def test_sparse_and_dense_L_agree(self, rng):
+        n = 5
+        G = -np.diag(rng.uniform(1.0, 2.0, size=n))
+        C = np.diag(rng.uniform(0.5, 1.0, size=n))
+        B = rng.normal(size=(n, 1))
+        L = rng.normal(size=(2, n))
+        dense = system_moments(C, G, B, L, 4)
+        sparse = system_moments(C, G, B, sp.csr_matrix(L), 4)
+        for M_dense, M_sparse in zip(dense, sparse):
+            assert np.allclose(M_dense, M_sparse)
+
+
 class TestTransferMoments:
     def test_works_on_descriptor_like_objects(self, rc_ladder_system):
         moments = transfer_moments(rc_ladder_system, 3)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.exceptions import ReductionError, ResourceBudgetExceeded
 from repro.mor.base import ReducedSystem, ReductionSummary, ResourceBudget
@@ -87,6 +88,52 @@ class TestReducedSystem:
         assert row["MOR time (s)"] == 1.25
         assert row["status"] == "ok"
         assert row["reusable"] == "yes"
+
+
+class TestComplexReducedSystem:
+    """Regression: the ndarray branch of ``_dense`` used to coerce to
+    ``dtype=float``, silently dropping imaginary parts while the sparse
+    branch preserved them."""
+
+    def _complex_rom(self):
+        C = np.diag([1.0 + 0.5j, 2.0 - 0.25j])
+        G = -np.eye(2) + 0.125j * np.eye(2)
+        B = np.array([[1.0 + 1.0j], [0.0]])
+        L = np.array([[1.0, 1.0 - 2.0j]])
+        return ReducedSystem(C=C, G=G, B=B, L=L, method="TEST",
+                             n_moments=1, name="complex-tiny")
+
+    def test_complex_pencil_round_trips_without_dropping_imag(self):
+        rom = self._complex_rom()
+        assert np.iscomplexobj(rom.C) and rom.C[0, 0] == 1.0 + 0.5j
+        assert np.iscomplexobj(rom.G) and rom.G[1, 1] == -1.0 + 0.125j
+        assert np.iscomplexobj(rom.B) and rom.B[0, 0] == 1.0 + 1.0j
+        assert np.iscomplexobj(rom.L) and rom.L[0, 1] == 1.0 - 2.0j
+
+    def test_dense_branch_matches_sparse_branch_dtype(self):
+        C = np.diag([1.0 + 0.5j, 2.0 - 0.25j])
+        dense = ReducedSystem._dense(C)
+        sparse = ReducedSystem._dense(sp.csr_matrix(C))
+        assert dense.dtype == sparse.dtype
+        assert np.array_equal(dense, sparse)
+
+    def test_real_and_int_inputs_still_become_float(self):
+        assert ReducedSystem._dense(np.eye(2, dtype=int)).dtype == float
+        assert ReducedSystem._dense(np.eye(2)).dtype == float
+
+    def test_complex_transfer_function_evaluates(self):
+        rom = self._complex_rom()
+        s = 1j * 2.0
+        expected = rom.L @ np.linalg.solve(s * rom.C - rom.G, rom.B)
+        assert np.allclose(rom.transfer_function(s), expected)
+
+    def test_b_complex_cache_reused_across_evaluations(self):
+        rom = _tiny_rom()
+        first = rom.B_complex
+        rom.transfer_function(1j)
+        rom.transfer_entry(2j, 0, 0)
+        assert rom.B_complex is first
+        assert first.dtype == complex
 
 
 class TestReductionSummary:

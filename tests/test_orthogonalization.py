@@ -6,10 +6,16 @@ import pytest
 from repro.exceptions import DeflationError
 from repro.linalg.orthogonalization import (
     OrthoStats,
+    block_orthonormalize,
     modified_gram_schmidt,
     orthonormalize_against,
     theoretical_inner_products,
 )
+
+
+def _counts(stats: OrthoStats) -> tuple[int, int, int, int]:
+    return (stats.inner_products, stats.axpy_updates,
+            stats.normalizations, stats.deflations)
 
 
 class TestOrthoStats:
@@ -17,8 +23,7 @@ class TestOrthoStats:
         a = OrthoStats(1, 2, 3, 4)
         b = OrthoStats(10, 20, 30, 40)
         a.merge(b)
-        assert (a.inner_products, a.axpy_updates,
-                a.normalizations, a.deflations) == (11, 22, 33, 44)
+        assert _counts(a) == (11, 22, 33, 44)
 
     def test_add_returns_new_object(self):
         a = OrthoStats(1, 1, 1, 0)
@@ -26,6 +31,36 @@ class TestOrthoStats:
         c = a + b
         assert c.inner_products == 3
         assert a.inner_products == 1
+
+    def test_merge_with_empty_is_identity(self):
+        a = OrthoStats(5, 6, 7, 8)
+        a.merge(OrthoStats())
+        assert _counts(a) == (5, 6, 7, 8)
+
+    def test_add_with_empty_is_identity_both_ways(self):
+        a = OrthoStats(5, 6, 7, 8)
+        assert _counts(a + OrthoStats()) == (5, 6, 7, 8)
+        assert _counts(OrthoStats() + a) == (5, 6, 7, 8)
+
+    def test_add_is_commutative_and_non_mutating(self):
+        a = OrthoStats(1, 2, 3, 4)
+        b = OrthoStats(10, 0, 5, 1)
+        assert _counts(a + b) == _counts(b + a)
+        assert _counts(a) == (1, 2, 3, 4)
+        assert _counts(b) == (10, 0, 5, 1)
+
+    def test_merge_chain_equals_sum(self):
+        parts = [OrthoStats(i, 2 * i, 3 * i, i % 2) for i in range(5)]
+        merged = OrthoStats()
+        for part in parts:
+            merged.merge(part)
+        total = parts[0] + parts[1] + parts[2] + parts[3] + parts[4]
+        assert _counts(merged) == _counts(total)
+
+    def test_merge_self_doubles(self):
+        a = OrthoStats(3, 4, 5, 6)
+        a.merge(a)
+        assert _counts(a) == (6, 8, 10, 12)
 
 
 class TestOrthonormalizeAgainst:
@@ -109,6 +144,109 @@ class TestModifiedGramSchmidt:
         basis, stats = modified_gram_schmidt(np.zeros((5, 3)))
         assert basis.shape == (5, 0)
         assert stats.deflations == 3
+
+
+class TestBlockOrthonormalize:
+    def test_produces_orthonormal_basis(self, rng):
+        candidates = rng.normal(size=(20, 6))
+        basis, _ = block_orthonormalize(candidates)
+        assert basis.shape == (20, 6)
+        assert np.allclose(basis.T @ basis, np.eye(6), atol=1e-12)
+
+    def test_spans_same_space_as_columnwise(self, rng):
+        candidates = rng.normal(size=(30, 5))
+        blocked, _ = block_orthonormalize(candidates)
+        columnwise, _ = modified_gram_schmidt(candidates)
+        # Each basis reproduces the other under projection -> equal spans.
+        assert np.allclose(blocked @ (blocked.T @ columnwise), columnwise,
+                           atol=1e-10)
+        assert np.allclose(columnwise @ (columnwise.T @ blocked), blocked,
+                           atol=1e-10)
+
+    def test_respects_initial_basis(self, rng):
+        initial, _ = modified_gram_schmidt(rng.normal(size=(25, 4)))
+        new, _ = block_orthonormalize(rng.normal(size=(25, 3)),
+                                      initial_basis=initial)
+        assert new.shape == (25, 3)
+        assert np.allclose(initial.T @ new, 0.0, atol=1e-12)
+        assert np.allclose(new.T @ new, np.eye(3), atol=1e-12)
+
+    def test_initial_basis_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            block_orthonormalize(rng.normal(size=(5, 2)),
+                                 initial_basis=np.eye(6))
+
+    def test_deflation_decisions_match_columnwise(self, rng):
+        col = rng.normal(size=(12, 1))
+        candidates = np.hstack(
+            [col, 2.0 * col, np.zeros((12, 1)), rng.normal(size=(12, 1))])
+        blocked, blocked_stats = block_orthonormalize(candidates)
+        columnwise, columnwise_stats = modified_gram_schmidt(candidates)
+        assert blocked.shape == columnwise.shape == (12, 2)
+        assert blocked_stats.deflations == columnwise_stats.deflations == 2
+
+    def test_stats_match_columnwise_kernel(self, rng):
+        initial, _ = modified_gram_schmidt(rng.normal(size=(40, 5)))
+        col = rng.normal(size=(40, 1))
+        candidates = np.hstack([rng.normal(size=(40, 4)), col, 3.0 * col])
+        _, blocked_stats = block_orthonormalize(candidates,
+                                                initial_basis=initial)
+        _, columnwise_stats = modified_gram_schmidt(candidates,
+                                                    initial_basis=initial)
+        assert _counts(blocked_stats) == _counts(columnwise_stats)
+
+    def test_stats_match_without_reorthogonalization(self, rng):
+        initial, _ = modified_gram_schmidt(rng.normal(size=(15, 2)))
+        candidates = rng.normal(size=(15, 3))
+        _, blocked_stats = block_orthonormalize(
+            candidates, initial_basis=initial, reorthogonalize=False)
+        _, columnwise_stats = modified_gram_schmidt(
+            candidates, initial_basis=initial, reorthogonalize=False)
+        assert _counts(blocked_stats) == _counts(columnwise_stats)
+
+    def test_require_full_rank_raises_with_first_deflated_index(self, rng):
+        col = rng.normal(size=(8, 1))
+        with pytest.raises(DeflationError, match="column 1"):
+            block_orthonormalize(np.hstack([col, col]),
+                                 require_full_rank=True)
+
+    def test_wide_block_deflates_beyond_dimension(self, rng):
+        candidates = rng.normal(size=(4, 7))
+        basis, stats = block_orthonormalize(candidates)
+        assert basis.shape == (4, 4)
+        assert stats.deflations == 3
+
+    def test_all_zero_candidates_give_empty_basis(self):
+        basis, stats = block_orthonormalize(np.zeros((5, 3)))
+        assert basis.shape == (5, 0)
+        assert stats.deflations == 3
+        assert stats.inner_products == 0
+
+    def test_empty_candidate_block(self):
+        basis, stats = block_orthonormalize(np.empty((6, 0)))
+        assert basis.shape == (6, 0)
+        assert _counts(stats) == (0, 0, 0, 0)
+
+    def test_one_dimensional_input(self):
+        basis, _ = block_orthonormalize(np.array([0.0, 2.0, 0.0]))
+        assert basis.shape == (3, 1)
+        assert np.allclose(np.abs(basis[:, 0]), [0.0, 1.0, 0.0])
+
+    def test_complex_candidates(self, rng):
+        candidates = (rng.normal(size=(20, 4))
+                      + 1j * rng.normal(size=(20, 4)))
+        basis, stats = block_orthonormalize(candidates)
+        assert np.iscomplexobj(basis)
+        assert np.allclose(basis.conj().T @ basis, np.eye(4), atol=1e-12)
+        assert stats.normalizations == 4
+
+    def test_complex_initial_basis_promotes_dtype(self, rng):
+        initial, _ = modified_gram_schmidt(
+            rng.normal(size=(20, 2)) + 1j * rng.normal(size=(20, 2)))
+        basis, _ = block_orthonormalize(rng.normal(size=(20, 3)),
+                                        initial_basis=initial)
+        assert np.iscomplexobj(basis)
+        assert np.allclose(initial.conj().T @ basis, 0.0, atol=1e-12)
 
 
 class TestTheoreticalInnerProducts:

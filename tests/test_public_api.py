@@ -23,7 +23,7 @@ class TestPackageSurface:
     @pytest.mark.parametrize("module", [
         "repro.circuit", "repro.core", "repro.mor", "repro.analysis",
         "repro.linalg", "repro.passivity", "repro.validation", "repro.io",
-        "repro.cli",
+        "repro.cli", "repro.perf", "repro.perf.workloads",
     ])
     def test_subpackages_import_cleanly(self, module):
         assert importlib.import_module(module) is not None

@@ -108,6 +108,22 @@ class TestBlockDiagonalROM:
         assert row["reusable"] == "yes"
 
 
+class TestToReducedSystemCache:
+    def test_repeated_queries_return_cached_conversion(self, rc_grid_system):
+        rom, _, _ = bdsm_reduce(rc_grid_system, 2)
+        first = rom.to_reduced_system()
+        second = rom.to_reduced_system()
+        assert second is first  # densified once, reused afterwards
+
+    def test_cached_conversion_matches_structure(self, rc_grid_system):
+        rom, _, _ = bdsm_reduce(rc_grid_system, 2)
+        dense = rom.to_reduced_system()
+        assert dense.size == rom.size
+        assert np.allclose(dense.C, rom.C.toarray())
+        assert np.allclose(dense.transfer_function(1j * 1e6),
+                           rom.transfer_function(1j * 1e6))
+
+
 class TestStateReconstruction:
     def test_requires_kept_bases(self, rc_grid_system):
         rom, _, _ = bdsm_reduce(rc_grid_system, 2)
