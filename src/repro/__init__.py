@@ -33,12 +33,14 @@ from repro.analysis import (
 )
 from repro.circuit import (
     DescriptorSystem,
+    GridRegion,
     Netlist,
     PowerGridSpec,
     assemble_mna,
     benchmark_names,
     build_power_grid,
     make_benchmark,
+    make_multidomain_spec,
     parse_netlist,
     parse_netlist_file,
     write_netlist,
@@ -52,6 +54,7 @@ from repro.core import (
 from repro.exceptions import (
     CircuitError,
     NetlistParseError,
+    PartitionError,
     PassivityError,
     ReductionError,
     ReproError,
@@ -70,6 +73,13 @@ from repro.linalg import (
     clear_default_cache,
     default_cache,
     get_solver,
+)
+from repro.partition import (
+    GridPartitioner,
+    PartitionedROM,
+    PartitionResult,
+    available_partitioners,
+    partitioned_reduce,
 )
 from repro.perf import default_registry, scoped_timer
 from repro.mor import (
@@ -113,11 +123,16 @@ __all__ = [
     "FactorizationCache",
     "FrequencyAnalysis",
     "FrequencySweepResult",
+    "GridPartitioner",
+    "GridRegion",
     "IRDropResult",
     "ModelServer",
     "ModelStore",
     "Netlist",
     "NetlistParseError",
+    "PartitionError",
+    "PartitionResult",
+    "PartitionedROM",
     "PassivityError",
     "PowerGridSpec",
     "QueryRequest",
@@ -140,6 +155,7 @@ __all__ = [
     "ValidationError",
     "assemble_mna",
     "available_backends",
+    "available_partitioners",
     "bdsm_reduce",
     "benchmark_names",
     "block_orthonormalize",
@@ -159,11 +175,13 @@ __all__ = [
     "laguerre_passivity_scan",
     "load_artifact",
     "make_benchmark",
+    "make_multidomain_spec",
     "max_relative_error",
     "multipoint_bdsm_reduce",
     "multipoint_prima_reduce",
     "parse_netlist",
     "parse_netlist_file",
+    "partitioned_reduce",
     "pmtbr_reduce",
     "prima_reduce",
     "relative_error_curve",

@@ -18,7 +18,9 @@ Contents
     Stamping of a netlist into the :class:`~repro.circuit.mna.DescriptorSystem`
     quadruple ``(C, G, B, L)``.
 ``powergrid``
-    Parameterised RC/RLC power-grid mesh generator with package inductance.
+    Parameterised RC/RLC power-grid mesh generator with package inductance,
+    multi-domain :class:`~repro.circuit.powergrid.GridRegion` R/C scaling
+    and rectangular blockage voids.
 ``benchmarks``
     The ``ckt1``–``ckt5`` style synthetic industrial benchmarks used by the
     Table II / Fig. 4 / Fig. 5 reproductions.
@@ -41,7 +43,12 @@ from repro.circuit.elements import (
 from repro.circuit.mna import DescriptorSystem, assemble_mna
 from repro.circuit.netlist import Netlist
 from repro.circuit.parser import parse_netlist, parse_netlist_file, write_netlist
-from repro.circuit.powergrid import PowerGridSpec, build_power_grid
+from repro.circuit.powergrid import (
+    GridRegion,
+    PowerGridSpec,
+    build_power_grid,
+    make_multidomain_spec,
+)
 
 __all__ = [
     "BENCHMARKS",
@@ -50,6 +57,7 @@ __all__ = [
     "CurrentSource",
     "DescriptorSystem",
     "Element",
+    "GridRegion",
     "Inductor",
     "Netlist",
     "PowerGridSpec",
@@ -59,6 +67,7 @@ __all__ = [
     "benchmark_names",
     "build_power_grid",
     "make_benchmark",
+    "make_multidomain_spec",
     "parse_netlist",
     "parse_netlist_file",
     "write_netlist",

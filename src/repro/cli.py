@@ -10,6 +10,14 @@ script:
     Generate a benchmark, reduce it with the chosen method and print the
     Table-II style summary row (time, ROM size, non-zeros, accuracy).
 
+``python -m repro reduce --partitions 4 --partitioner bfs --jobs 4``
+    Same reduction, but *partitioned*: the grid is sharded into 4
+    subdomains (:mod:`repro.partition`), each shard reduced independently
+    (``--jobs`` fans the shards over a thread pool), and the reduced
+    pieces reassembled into a coupled macromodel whose interface states
+    are preserved exactly.  Works with ``--method bdsm`` or ``prima`` and
+    composes with ``--store`` (per-shard memoization).
+
 ``python -m repro sweep --benchmark ckt1 --moments 6 --output 1 --port 2``
     Print the Fig. 5 style frequency sweep (full model vs BDSM and PRIMA)
     for one transfer-matrix entry.
@@ -80,6 +88,7 @@ from repro.exceptions import ValidationError
 from repro.mor.prima import prima_store_options
 from repro.io import format_table
 from repro.linalg import available_backends, default_cache
+from repro.partition import available_partitioners, partitioned_reduce
 
 __all__ = ["main", "build_parser"]
 
@@ -159,8 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "instead of reducing on a miss")
     reduce_cmd.add_argument("--jobs", type=int, default=1,
                             help="worker threads for BDSM per-cluster "
-                                 "chunks (0 = one per CPU; bdsm only, "
-                                 "numerically identical to --jobs 1)")
+                                 "chunks or partitioned shards (0 = one "
+                                 "per CPU; numerically identical to "
+                                 "--jobs 1)")
+    reduce_cmd.add_argument("--partitions", type=int, default=1,
+                            metavar="K",
+                            help="shard the grid into K subdomains and "
+                                 "reduce them independently before "
+                                 "reassembling a coupled macromodel "
+                                 "(bdsm/prima only; 1 = monolithic)")
+    reduce_cmd.add_argument("--partitioner", default="bfs",
+                            choices=available_partitioners(),
+                            help="partition strategy for --partitions")
 
     bench_cmd = sub.add_parser(
         "bench", help="run recorded performance workloads with baseline "
@@ -264,6 +283,18 @@ def _cmd_benchmarks() -> int:
 def _cmd_reduce(args: argparse.Namespace) -> int:
     system = make_benchmark(args.benchmark, scale=args.scale)
     solver = _solver_options(args)
+    partitions = getattr(args, "partitions", 1)
+    if partitions < 1:
+        raise ValidationError("--partitions must be >= 1")
+    if partitions > 1 and args.method not in _STORABLE_METHODS:
+        raise ValidationError(
+            f"--partitions shards {'/'.join(_STORABLE_METHODS)} "
+            f"reductions, not {args.method}")
+    if partitions > 1 and args.from_store:
+        raise ValidationError(
+            "--from-store checks the monolithic store key; partitioned "
+            "reductions memoize per shard, so rerun with --store alone "
+            "(shards hit the store automatically)")
     store = None
     if args.store is not None:
         if args.method not in _STORABLE_METHODS:
@@ -287,11 +318,24 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     jobs = getattr(args, "jobs", 1)
     if jobs < 0:
         raise ValidationError("--jobs must be >= 0 (0 = one per CPU)")
-    if jobs != 1 and args.method != "bdsm":
+    if jobs != 1 and args.method != "bdsm" and partitions <= 1:
         raise ValidationError(
-            "--jobs parallelizes BDSM per-cluster chunks; "
-            f"{args.method} has no chunked reduction")
-    if args.method == "bdsm" and jobs != 1:
+            "--jobs parallelizes BDSM per-cluster chunks or partitioned "
+            f"shards; monolithic {args.method} has no chunked reduction")
+    if partitions > 1:
+        # Sharded: shard reductions are independent, so a thread pool
+        # fans them out; the store (if any) memoizes per shard.
+        engine = SweepEngine(jobs=jobs) if jobs != 1 else None
+        try:
+            rom, stats, seconds = partitioned_reduce(
+                system, args.moments, n_parts=partitions,
+                partitioner=args.partitioner, method=args.method,
+                options=BDSMOptions(solver=solver), engine=engine,
+                store=store)
+        finally:
+            if engine is not None:
+                engine.close()
+    elif args.method == "bdsm" and jobs != 1:
         # Hand the reducer a pool; it chunks the ports itself so every
         # worker gets a few independent clusters, all sharing the one
         # cached pencil factorisation.
@@ -308,7 +352,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         "benchmark": system.name,
         "nodes": system.size,
         "ports": system.n_ports,
-        "method": args.method.upper(),
+        "method": (rom.method if partitions > 1 else args.method.upper()),
         "solver": solver.backend,
         "MOR time (s)": round(seconds, 4),
         "ROM size": rom.size,
@@ -318,9 +362,16 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             f"{max_relative_error(system, rom, omegas):.2e}",
         "reusable": "yes" if rom.reusable else "no",
     }
+    if partitions > 1:
+        info = rom.partition_info
+        row["partitions"] = (f"{info.get('k')}x {info.get('strategy')}, "
+                             f"interface {info.get('interface')}")
     print(format_table([row], title="reduction summary"))
     if args.save is not None:
-        path = save_artifact(rom, args.save)
+        # Partitioned macromodels export through their dense equivalent —
+        # the artifact layer's ReducedSystem container round-trips it.
+        exportable = rom.to_reduced_system() if partitions > 1 else rom
+        path = save_artifact(exportable, args.save)
         print(f"ROM artifact saved to {path}")
     if store is not None:
         _print_store_summary(store)

@@ -60,10 +60,19 @@ class ROMBlock:
     basis: np.ndarray | None = None
 
     def __post_init__(self) -> None:
-        self.C = np.asarray(self.C, dtype=float)
-        self.G = np.asarray(self.G, dtype=float)
-        self.b = np.asarray(self.b, dtype=float).reshape(-1)
-        self.L = np.atleast_2d(np.asarray(self.L, dtype=float))
+        # Preserve complexness (int inputs still become float): a grid
+        # observed through a complex output matrix must not have the
+        # imaginary part of its reduced ``L`` silently discarded — the
+        # same coercion bug class ReducedSystem._dense fixed.
+        def cast(arr):
+            arr = np.asarray(arr)
+            dtype = complex if np.iscomplexobj(arr) else float
+            return arr.astype(dtype, copy=False)
+
+        self.C = cast(self.C)
+        self.G = cast(self.G)
+        self.b = cast(self.b).reshape(-1)
+        self.L = np.atleast_2d(cast(self.L))
         l = self.C.shape[0]
         if self.C.shape != (l, l) or self.G.shape != (l, l):
             raise ReductionError(

@@ -43,6 +43,16 @@ class DeflationError(ReductionError):
     """Raised when a Krylov basis deflates to nothing (rank loss)."""
 
 
+class PartitionError(ReductionError):
+    """Raised by the partitioned-reduction subsystem.
+
+    Covers infeasible partition requests (more subdomains than the node
+    graph can support, a subdomain swallowed whole by the interface
+    separator) and assembly inconsistencies between subdomain ROMs and the
+    interface coupling blocks.
+    """
+
+
 class SingularSystemError(ReproError):
     """Raised when ``(s0*C - G)`` is singular at the chosen expansion point."""
 

@@ -311,16 +311,30 @@ def block_orthonormalize(
     The blocked counterpart of :func:`modified_gram_schmidt`: the entire
     block is projected against ``initial_basis`` with two classical
     Gram-Schmidt sweeps (each sweep is two GEMMs, ``S = Q^H W`` and
-    ``W -= Q S``), then linearly dependent columns are deflated with an
-    *unpivoted* Householder QR — ``|R[j, j]|`` is candidate ``j``'s
-    residual against its predecessors in input order, which is exactly
-    the column-wise remainder test (column pivoting must NOT be added
-    here: it would permute the diagonal out of input order).  The
-    returned columns span the same space as the column-wise kernel run on
-    the same input and the deflation decisions agree (each candidate is
-    dropped when its residual falls below ``deflation_tol`` times its
-    original norm), but the work is done by LAPACK instead of a Python
-    loop of BLAS-2 calls.
+    ``W -= Q S``), then screened for linear dependence with an *unpivoted*
+    Householder QR — ``|R[j, j]|`` is candidate ``j``'s residual against
+    its predecessors in input order, which is exactly the column-wise
+    remainder test (column pivoting must NOT be added here: it would
+    permute the diagonal out of input order).  When no diagonal entry
+    falls below the deflation floor — the overwhelmingly common case for
+    healthy Krylov blocks — the economic ``Q`` *is* the result: same
+    decisions, same operation counts, pure LAPACK/BLAS-3 instead of a
+    Python loop of BLAS-2 calls.
+
+    The moment the screen finds *any* deflation, the whole block is redone
+    with :func:`modified_gram_schmidt` and that result returned verbatim.
+    This is deliberate, not defensive: near the deflation threshold the
+    remainders of successive candidates sit in each other's rounding
+    noise, so each keep/drop flips the inputs of every later test — the
+    only way to reproduce the column-wise kernel's decisions (and
+    therefore its deflation counts, spans and ROM sizes) is to run the
+    column-wise arithmetic from the start of the block.  A single QR of a
+    deflating block cannot be trusted anyway: a deflated candidate's
+    numerically arbitrary residual direction joins the factored span and
+    contaminates every later diagonal entry, and with more candidates
+    than rows the economic diagonal simply ends.  Deflation-free blocks
+    keep the full BLAS-3 speedup; deflating blocks pay one wasted QR
+    (~a quarter of the column-wise cost) for exact parity.
 
     Parameters
     ----------
@@ -381,36 +395,26 @@ def block_orthonormalize(
         # so the candidates need no defensive copy.
         W = np.asarray(cand, dtype=dtype)
 
-    # Intra-block deflation: in an *unpivoted* Householder QR of the
-    # projected block, ``|R[j, j]|`` is the distance of candidate ``j``
-    # from the span of its predecessors — exactly the remainder norm the
-    # column-wise kernel tests against ``deflation_tol * original_norm``,
-    # in the same input order.
-    Q, R = scipy.linalg.qr(W, mode="economic", check_finite=False)
-    residuals = np.zeros(k)
-    diag = np.abs(np.diag(R))
-    residuals[:diag.shape[0]] = diag
-    deflated = residuals <= deflation_tol * orig_norms
+    judged = min(n, k)
+    clean = False
+    if judged == k:
+        Q, R = scipy.linalg.qr(W, mode="economic", check_finite=False)
+        residuals = np.abs(np.diag(R))
+        clean = bool(np.all(residuals > deflation_tol * orig_norms))
 
-    kept = np.flatnonzero(~deflated)
-    if require_full_rank and kept.shape[0] < k:
-        first = int(np.flatnonzero(deflated)[0])
-        raise DeflationError(
-            f"candidate column {first} is linearly dependent on the basis"
-        )
-
-    stats = _columnwise_equivalent_stats(orig_norms, deflated, n_existing,
-                                         reorthogonalize)
-    if kept.shape[0] == k:
-        # Full rank (the common case): the economic Q *is* the basis.
+    if clean:
+        stats = _columnwise_equivalent_stats(
+            orig_norms, np.zeros(k, dtype=bool), n_existing,
+            reorthogonalize)
         return np.asarray(Q, dtype=dtype), stats
-    if kept.shape[0] == 0:
-        return np.empty((n, 0), dtype=dtype), stats
-    # Deflation occurred: refactor the retained columns — the first Q has
-    # arbitrary directions at deflated positions, so only a QR of the
-    # kept columns spans exactly the accepted candidates.
-    Q = scipy.linalg.qr(W[:, kept], mode="economic", check_finite=False)[0]
-    return np.asarray(Q, dtype=dtype), stats
+
+    # Deflation detected (or more candidates than rows, where the QR
+    # cannot even judge the overflow): fall back to the column-wise
+    # kernel for the whole block.
+    return modified_gram_schmidt(
+        cand, initial_basis=init, deflation_tol=deflation_tol,
+        reorthogonalize=reorthogonalize,
+        require_full_rank=require_full_rank)
 
 
 def theoretical_inner_products(m: int, l: int, *, clustered: bool) -> int:

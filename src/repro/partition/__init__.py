@@ -1,0 +1,55 @@
+"""Partitioned hierarchical reduction: shard, reduce in parallel, reassemble.
+
+The paper's block-diagonal structure argument makes *reduction* scale with
+the port count; this subsystem makes it scale with the *node* count too.
+A huge grid is split into ``k`` balanced subdomains
+(:class:`~repro.partition.graph.GridPartitioner`, pluggable strategies),
+each subdomain becomes a valid descriptor system with its interface
+couplings promoted to preserved ports
+(:func:`~repro.partition.extract.extract_subdomains`), the shards are
+reduced independently — optionally fanned over a
+:class:`~repro.analysis.engine.SweepEngine` pool with per-shard
+:class:`~repro.store.ModelStore` memoization — and the reduced pieces are
+reassembled into a coupled
+:class:`~repro.partition.assemble.PartitionedROM` whose interface states
+are preserved exactly.  The macromodel answers every
+:class:`~repro.mor.base.ReducedSystem`-style query (transfer function,
+frequency sweeps, transient, IR drop) through an interface Schur
+complement, so downstream analyses never notice the sharding.
+
+Entry point: :func:`~repro.partition.reduce.partitioned_reduce`, or the
+CLI's ``repro reduce --partitions K --partitioner NAME``.
+"""
+
+from repro.partition.assemble import PartitionedROM, ReducedSubdomain
+from repro.partition.extract import (
+    SeparatorBlock,
+    Subdomain,
+    extract_subdomains,
+)
+from repro.partition.graph import (
+    GridPartitioner,
+    PartitionResult,
+    available_partitioners,
+    register_partitioner,
+    structure_adjacency,
+)
+from repro.partition.reduce import (
+    partitioned_reduce,
+    partitioned_store_options,
+)
+
+__all__ = [
+    "GridPartitioner",
+    "PartitionResult",
+    "PartitionedROM",
+    "ReducedSubdomain",
+    "SeparatorBlock",
+    "Subdomain",
+    "available_partitioners",
+    "extract_subdomains",
+    "partitioned_reduce",
+    "partitioned_store_options",
+    "register_partitioner",
+    "structure_adjacency",
+]

@@ -1,0 +1,214 @@
+"""Subdomain extraction with interface-port promotion.
+
+Given a :class:`~repro.partition.graph.PartitionResult`, this module cuts
+the global descriptor system into per-subdomain shards.  Each shard is a
+*valid* :class:`~repro.circuit.mna.DescriptorSystem` whose input matrix
+carries, besides the original current-source columns that load the
+subdomain, one promoted input column per interface coupling: the columns of
+``G[internal, interface]`` (resistive/incidence coupling) and
+``C[internal, interface]`` (capacitive coupling).  The interface voltages
+``x_s`` and their derivatives are exactly the signals a neighbouring
+subdomain injects, so a moment-matched basis for the shard's promoted
+inputs spans the states those injections excite — which is what lets the
+assembled macromodel (:mod:`repro.partition.assemble`) reproduce the
+coupled response.
+
+Because each shard is an ordinary descriptor system, the existing reducers
+(:func:`~repro.core.bdsm.bdsm_reduce`, :func:`~repro.mor.prima.\
+prima_reduce`) consume it unchanged — the partitioned driver simply runs
+them per shard and keeps the projection bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import DescriptorSystem
+from repro.exceptions import PartitionError
+from repro.linalg.sparse_utils import to_csr
+from repro.partition.graph import PartitionResult
+
+__all__ = ["Subdomain", "SeparatorBlock", "extract_subdomains"]
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One extracted shard of a partitioned descriptor system.
+
+    Attributes
+    ----------
+    index:
+        Subdomain number in ``[0, k)``.
+    internal:
+        Sorted global indices of the shard's internal states.
+    boundary:
+        Positions *within the separator* (not global indices) of the
+        interface states this shard actually couples to.
+    port_cols:
+        Original input-port columns with support on the internal states.
+    system:
+        The shard :class:`~repro.circuit.mna.DescriptorSystem`:
+        ``C = C[int, int]``, ``G = G[int, int]``, ``B`` as described in the
+        module docstring, ``L = L[:, int]``.
+    n_own_ports:
+        Leading columns of the shard's ``B`` that are original ports;
+        the remaining columns are promoted interface inputs.
+    C_is, G_is:
+        ``n_i x n_s`` internal-to-separator coupling blocks (sparse).
+    C_si, G_si:
+        ``n_s x n_i`` separator-to-internal coupling blocks (sparse).
+    B_rows:
+        ``n_i x m`` internal rows of the *original* input matrix (all
+        ``m`` port columns, unlike the shard system's pruned ``B``).
+
+    The coupling blocks and input rows are sliced once at extraction so
+    the assembly stage projects them directly instead of re-slicing the
+    full matrices per shard.
+    """
+
+    index: int
+    internal: np.ndarray
+    boundary: np.ndarray
+    port_cols: np.ndarray
+    system: DescriptorSystem
+    n_own_ports: int
+    C_is: sp.csr_matrix
+    G_is: sp.csr_matrix
+    C_si: sp.csr_matrix
+    G_si: sp.csr_matrix
+    B_rows: sp.csr_matrix
+
+    @property
+    def size(self) -> int:
+        """Number of internal states in the shard."""
+        return int(self.internal.shape[0])
+
+    @property
+    def n_interface_inputs(self) -> int:
+        """Promoted interface input columns of the shard."""
+        return int(self.system.B.shape[1]) - self.n_own_ports
+
+
+@dataclass(frozen=True)
+class SeparatorBlock:
+    """The preserved interface block of a partitioned system.
+
+    Attributes
+    ----------
+    indices:
+        Sorted global indices of the separator states.
+    C, G:
+        Separator-to-separator descriptor blocks (sparse).
+    B:
+        Separator rows of the global input matrix.
+    L:
+        Separator columns of the global output matrix.
+    """
+
+    indices: np.ndarray
+    C: sp.csr_matrix
+    G: sp.csr_matrix
+    B: sp.csr_matrix
+    L: sp.csr_matrix
+
+    @property
+    def size(self) -> int:
+        """Number of preserved interface states."""
+        return int(self.indices.shape[0])
+
+
+def _active_columns(*matrices: sp.spmatrix) -> np.ndarray:
+    """Sorted union of columns holding at least one structural non-zero."""
+    cols: set[int] = set()
+    for matrix in matrices:
+        cols.update(int(c) for c in np.unique(matrix.tocoo().col))
+    return np.asarray(sorted(cols), dtype=np.int64)
+
+
+def extract_subdomains(system, partition: PartitionResult,
+                       ) -> tuple[list[Subdomain], SeparatorBlock]:
+    """Cut ``system`` into per-subdomain shards plus the separator block.
+
+    The shards and the separator partition the state space exactly:
+    permuting the global pencil to ``[internal_1, ..., internal_k,
+    interface]`` order yields the bordered block-diagonal form the
+    assembler reconstructs, so extraction itself loses nothing.
+    """
+    C = to_csr(system.C)
+    G = to_csr(system.G)
+    B = to_csr(system.B)
+    L = to_csr(system.L)
+    n = C.shape[0]
+    if partition.n_states != n:
+        raise PartitionError(
+            f"partition covers {partition.n_states} states but the system "
+            f"has {n}")
+    sep = np.asarray(partition.interface, dtype=np.int64)
+    name = getattr(system, "name", "system")
+    # Separator row slices, taken once and re-sliced per shard below.
+    C_sep_rows = C[sep]
+    G_sep_rows = G[sep]
+
+    subdomains: list[Subdomain] = []
+    for part_idx, internal in enumerate(partition.parts):
+        internal = np.asarray(internal, dtype=np.int64)
+        int_rows_C = C[internal]
+        int_rows_G = G[internal]
+        C_ii = int_rows_C[:, internal].tocsr()
+        G_ii = int_rows_G[:, internal].tocsr()
+        B_int = B[internal]
+        # Coupling of this shard's internals to the separator; only the
+        # separator columns actually touched become promoted inputs.
+        C_is = int_rows_C[:, sep].tocsr()
+        G_is = int_rows_G[:, sep].tocsr()
+        boundary = _active_columns(C_is, G_is)
+        port_cols = _active_columns(B_int)
+        input_blocks = []
+        if port_cols.size:
+            input_blocks.append(B_int[:, port_cols])
+        if boundary.size:
+            # Promote interface couplings to ports: x_s drives the shard
+            # through G[int, sep] and dx_s/dt through C[int, sep].  Only
+            # structurally non-zero columns are kept (zero input columns
+            # would just deflate away inside the reducers).
+            g_cols = _active_columns(G_is)
+            if g_cols.size:
+                input_blocks.append(G_is[:, g_cols])
+            c_cols = _active_columns(C_is)
+            if c_cols.size:
+                input_blocks.append(C_is[:, c_cols])
+        if not input_blocks:
+            raise PartitionError(
+                f"subdomain {part_idx} has neither load ports nor "
+                "interface couplings; it is disconnected from the rest "
+                "of the grid")
+        B_shard = sp.hstack(input_blocks, format="csr")
+        port_names = [f"{name}.p{int(c)}" for c in port_cols]
+        iface_names = [f"{name}.if{j}"
+                       for j in range(B_shard.shape[1] - len(port_names))]
+        shard = DescriptorSystem(
+            C=C_ii, G=G_ii, B=B_shard, L=L[:, internal].tocsr(),
+            port_names=port_names + iface_names,
+            output_names=list(getattr(system, "output_names", []) or []),
+            name=f"{name}-part{part_idx}of{partition.k}",
+        )
+        subdomains.append(Subdomain(
+            index=part_idx, internal=internal, boundary=boundary,
+            port_cols=port_cols, system=shard,
+            n_own_ports=int(port_cols.size),
+            C_is=C_is, G_is=G_is,
+            C_si=C_sep_rows[:, internal].tocsr(),
+            G_si=G_sep_rows[:, internal].tocsr(),
+            B_rows=B_int.tocsr()))
+
+    separator = SeparatorBlock(
+        indices=sep,
+        C=C[sep][:, sep].tocsr(),
+        G=G[sep][:, sep].tocsr(),
+        B=B[sep].tocsr(),
+        L=L[:, sep].tocsr(),
+    )
+    return subdomains, separator

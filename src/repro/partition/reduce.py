@@ -1,0 +1,304 @@
+"""Partitioned hierarchical reduction driver.
+
+:func:`partitioned_reduce` is the partitioned counterpart of
+:func:`~repro.core.bdsm.bdsm_reduce`: it shards the grid with a
+:class:`~repro.partition.graph.GridPartitioner`, reduces every subdomain
+independently with one of the existing reducers (BDSM per-cluster bases or
+a PRIMA block basis), optionally fanning the per-shard reductions over a
+:class:`~repro.analysis.engine.SweepEngine` worker pool, and reassembles
+the reduced pieces into a coupled
+:class:`~repro.partition.assemble.PartitionedROM`.
+
+Per-shard reductions can be memoized through a
+:class:`~repro.store.ModelStore`: the store key combines the shard's
+*content* fingerprint with partition-aware canonical options
+(:func:`partitioned_store_options`), so re-running the same partitioned
+reduction — in any process — loads every shard ROM off disk, while any
+change to the partition layout, the method or a numerically relevant knob
+produces fresh keys.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.engine import SweepEngine
+from repro.core.bdsm import BDSMOptions, bdsm_reduce, bdsm_store_options
+from repro.exceptions import PartitionError
+from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
+from repro.linalg.sparse_utils import to_csr
+from repro.mor.base import ResourceBudget
+from repro.mor.prima import prima_reduce, prima_store_options
+from repro.partition.assemble import PartitionedROM, ReducedSubdomain
+from repro.partition.extract import Subdomain, extract_subdomains
+from repro.partition.graph import GridPartitioner, PartitionResult
+from repro.perf.timers import scoped_timer
+
+__all__ = ["partitioned_reduce", "partitioned_store_options"]
+
+#: Shard reducers accepted by :func:`partitioned_reduce`.
+_METHODS = ("bdsm", "prima")
+
+
+def partitioned_store_options(n_moments: int, *, s0: complex = 0.0,
+                              method: str = "bdsm",
+                              options: BDSMOptions | None = None,
+                              partition: PartitionResult | None = None,
+                              subdomain: Subdomain | None = None) -> dict:
+    """Partition-aware canonical store options for one shard reduction.
+
+    Extends the shard reducer's own canonical options
+    (:func:`~repro.core.bdsm.bdsm_store_options` /
+    :func:`~repro.mor.prima.prima_store_options`, with the projection
+    basis forced on — assembly needs it) with a ``partition`` record:
+    the layout ``(k, strategy)``, the shard index and its interface
+    footprint.  Together with the shard's content fingerprint this
+    guarantees that any change to the partition layout yields fresh keys
+    while identical re-runs hit.
+    """
+    method = method.lower()
+    if method == "bdsm":
+        opts = options or BDSMOptions()
+        base = bdsm_store_options(
+            n_moments, s0=s0,
+            options=BDSMOptions(keep_projection=True,
+                                deflation_tol=opts.deflation_tol))
+    elif method == "prima":
+        opts = options or BDSMOptions()
+        base = prima_store_options(n_moments, s0=s0,
+                                   deflation_tol=opts.deflation_tol,
+                                   keep_projection=True)
+    else:
+        raise PartitionError(
+            f"unknown partitioned method {method!r}; choose from {_METHODS}")
+    record = {"scheme": "partitioned"}
+    if partition is not None:
+        record.update(k=int(partition.k), strategy=str(partition.strategy),
+                      interface=int(partition.interface_size))
+    if subdomain is not None:
+        record.update(subdomain=int(subdomain.index),
+                      size=int(subdomain.size),
+                      boundary=int(subdomain.boundary.shape[0]))
+    return {**base, "partition": record}
+
+
+def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
+                      opts: BDSMOptions, budget: ResourceBudget, store,
+                      partition: PartitionResult,
+                      ) -> tuple[np.ndarray, OrthoStats]:
+    """Reduce one shard with BDSM and merge its block bases into one."""
+    shard_opts = BDSMOptions(
+        keep_projection=True, deflation_tol=opts.deflation_tol,
+        solver=opts.solver, ortho_kernel=opts.ortho_kernel)
+    stats = OrthoStats()
+
+    def build():
+        rom, rom_stats, _ = bdsm_reduce(subdomain.system, n_moments, s0=s0,
+                                        options=shard_opts, budget=budget)
+        stats.merge(rom_stats)
+        return rom
+
+    if store is not None:
+        options = partitioned_store_options(
+            n_moments, s0=s0, method="bdsm", options=opts,
+            partition=partition, subdomain=subdomain)
+        rom, _ = store.get_or_reduce(subdomain.system, "BDSM", options,
+                                     build)
+    else:
+        rom = build()
+    columns = [block.basis for block in rom.blocks
+               if block.basis is not None and block.basis.shape[1]]
+    if not columns:
+        raise PartitionError(
+            f"subdomain {subdomain.index}: every Krylov candidate "
+            "deflated; the shard basis is empty")
+    candidates = np.hstack(columns)
+    basis, merge_stats = block_orthonormalize(
+        candidates, deflation_tol=opts.deflation_tol)
+    stats.merge(merge_stats)
+    return basis, stats
+
+
+def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
+                       opts: BDSMOptions, budget: ResourceBudget, store,
+                       partition: PartitionResult,
+                       ) -> tuple[np.ndarray, OrthoStats]:
+    """Reduce one shard with PRIMA and return its global block basis."""
+    stats = OrthoStats()
+
+    def build():
+        rom, rom_stats, _ = prima_reduce(
+            subdomain.system, n_moments, s0=s0, solver=opts.solver,
+            keep_projection=True, budget=budget,
+            deflation_tol=opts.deflation_tol,
+            ortho_kernel=opts.ortho_kernel)
+        stats.merge(rom_stats)
+        return rom
+
+    if store is not None:
+        options = partitioned_store_options(
+            n_moments, s0=s0, method="prima", options=opts,
+            partition=partition, subdomain=subdomain)
+        rom, _ = store.get_or_reduce(subdomain.system, "PRIMA", options,
+                                     build)
+    else:
+        rom = build()
+    if rom.projection is None or rom.projection.shape[1] == 0:
+        raise PartitionError(
+            f"subdomain {subdomain.index}: PRIMA returned no projection "
+            "basis")
+    return np.asarray(rom.projection), stats
+
+
+_SHARD_REDUCERS = {"bdsm": _shard_basis_bdsm, "prima": _shard_basis_prima}
+
+
+def _project_subdomain(subdomain: Subdomain,
+                       basis: np.ndarray) -> ReducedSubdomain:
+    """Congruence-project one shard and its interface couplings.
+
+    Works entirely from the blocks sliced once at extraction (the shard
+    pencil on ``subdomain.system``, the coupling blocks and input rows on
+    the :class:`~repro.partition.extract.Subdomain` record) — nothing
+    touches the full matrices here, which keeps the per-shard work
+    proportional to the shard.
+    """
+    V = basis
+    q = V.shape[1]
+    n_s = subdomain.C_is.shape[1]
+    return ReducedSubdomain(
+        index=subdomain.index,
+        C=V.T @ (subdomain.system.C @ V),
+        G=V.T @ (subdomain.system.G @ V),
+        Ec=(subdomain.C_is.T @ V).T if n_s else np.zeros((q, 0)),
+        Eg=(subdomain.G_is.T @ V).T if n_s else np.zeros((q, 0)),
+        Fc=subdomain.C_si @ V if n_s else np.zeros((0, q)),
+        Fg=subdomain.G_si @ V if n_s else np.zeros((0, q)),
+        B=(subdomain.B_rows.T @ V).T,
+        L=subdomain.system.L @ V,
+    )
+
+
+def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
+                       n_parts: int = 4, partitioner: str = "bfs",
+                       method: str = "bdsm",
+                       options: BDSMOptions | None = None,
+                       engine: SweepEngine | None = None,
+                       n_workers: int = 1,
+                       budget: ResourceBudget | None = None,
+                       store=None, keep_projection: bool = False,
+                       ) -> tuple[PartitionedROM, OrthoStats, float]:
+    """Shard, reduce the subdomains (optionally in parallel), reassemble.
+
+    Parameters
+    ----------
+    system:
+        Object exposing sparse ``C, G, B, L`` in the paper's convention.
+    n_moments:
+        Moments matched per input column of each shard (original ports and
+        promoted interface inputs alike).
+    s0:
+        Expansion point of the per-shard reductions.
+    n_parts:
+        Number of subdomains ``k``.
+    partitioner:
+        Registered partition strategy (see
+        :func:`~repro.partition.graph.available_partitioners`).
+    method:
+        Per-shard reducer: ``"bdsm"`` (per-cluster bases, merged) or
+        ``"prima"`` (one block basis per shard).
+    options:
+        Optional :class:`~repro.core.bdsm.BDSMOptions`; ``deflation_tol``,
+        ``solver`` and ``ortho_kernel`` apply to both methods.
+    engine:
+        Optional thread-pool :class:`~repro.analysis.engine.SweepEngine`
+        whose workers reduce the shards concurrently (shards are
+        independent once extracted).  Takes precedence over ``n_workers``.
+    n_workers:
+        Convenience worker count; values above 1 create a transient
+        thread-pool engine for the shard fan-out.
+    budget:
+        Optional :class:`~repro.mor.base.ResourceBudget`, forwarded to the
+        per-shard reducers.
+    store:
+        Optional :class:`~repro.store.ModelStore`; shard reductions are
+        then memoized across processes under partition-aware keys (see
+        :func:`partitioned_store_options`).
+    keep_projection:
+        Keep each shard's merged basis on its
+        :class:`~repro.partition.assemble.ReducedSubdomain` record.
+
+    Returns
+    -------
+    tuple(PartitionedROM, OrthoStats, float)
+        The coupled macromodel, aggregated orthonormalisation counts
+        across all shards, and the wall-clock build time in seconds.
+    """
+    if n_moments < 1:
+        raise PartitionError("n_moments must be >= 1")
+    method = str(method).lower()
+    if method not in _SHARD_REDUCERS:
+        raise PartitionError(
+            f"unknown partitioned method {method!r}; choose from {_METHODS}")
+    if n_workers < 1:
+        raise PartitionError("n_workers must be >= 1")
+    if engine is not None and engine.executor != "thread":
+        raise PartitionError(
+            "partitioned shard fan-out needs a thread-pool SweepEngine: "
+            "the shards share the in-process store and solver caches")
+    opts = options or BDSMOptions()
+    budget = budget or ResourceBudget.unlimited()
+
+    start = time.perf_counter()
+    with scoped_timer("partition.partition"):
+        result = GridPartitioner(k=n_parts,
+                                 strategy=partitioner).partition(system)
+    with scoped_timer("partition.extract"):
+        subdomains, separator = extract_subdomains(system, result)
+
+    reduce_shard = _SHARD_REDUCERS[method]
+
+    def process(subdomain: Subdomain,
+                ) -> tuple[ReducedSubdomain, OrthoStats]:
+        with scoped_timer("partition.shard_reduce"):
+            basis, stats = reduce_shard(subdomain, n_moments, s0, opts,
+                                        budget, store, result)
+        with scoped_timer("partition.project"):
+            reduced = _project_subdomain(subdomain, basis)
+        if keep_projection:
+            reduced.basis = basis
+        return reduced, stats
+
+    transient_engine = None
+    if engine is None and n_workers > 1 and len(subdomains) > 1:
+        engine = transient_engine = SweepEngine(jobs=n_workers)
+    try:
+        if engine is not None and len(subdomains) > 1:
+            outcomes = engine.map_scenarios(process, subdomains)
+        else:
+            outcomes = [process(sub) for sub in subdomains]
+    finally:
+        if transient_engine is not None:
+            transient_engine.close()
+
+    stats = OrthoStats()
+    reduced_subdomains: list[ReducedSubdomain] = []
+    for reduced, shard_stats in outcomes:
+        reduced_subdomains.append(reduced)
+        stats.merge(shard_stats)
+
+    with scoped_timer("partition.assemble"):
+        rom = PartitionedROM(
+            reduced_subdomains,
+            C_ss=separator.C, G_ss=separator.G,
+            B_s=separator.B, L_s=separator.L,
+            s0=s0, n_moments=n_moments, method=method.upper(),
+            partition_info=result.describe(),
+            original_size=int(to_csr(system.C).shape[0]),
+            original_ports=int(to_csr(system.B).shape[1]),
+            name=f"{getattr(system, 'name', 'system')}-P{method.upper()}",
+            output_names=list(getattr(system, "output_names", []) or []),
+        )
+    return rom, stats, time.perf_counter() - start

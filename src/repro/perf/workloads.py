@@ -20,16 +20,28 @@ gate enforces — is part of every recorded run:
     Cold BDSM serial vs. per-cluster chunks fanned over a thread-pool
     :class:`~repro.analysis.engine.SweepEngine`.  Recorded but never gated
     — pool speedups depend on the runner's core count.
+``partitioned_cold``
+    Cold partitioned reduction (``repro.partition``: shard, reduce the
+    subdomains over a thread pool, reassemble) vs. the cold monolithic
+    BDSM reduction of the same heterogeneous multi-domain grid, plus the
+    partitioned-vs-monolithic transfer-function agreement.  Recorded to
+    the main results payload *and* to
+    ``benchmarks/results/partitioned_reduce.json``; never gated (pool
+    speedups and interface fractions are machine- and grid-dependent).
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.engine import SweepEngine
 from repro.circuit.benchmarks import BENCHMARKS, make_benchmark
+from repro.circuit.mna import assemble_mna
+from repro.circuit.powergrid import build_power_grid, make_multidomain_spec
 from repro.core.bdsm import BDSMOptions, bdsm_reduce
 from repro.exceptions import ValidationError
 from repro.linalg.backends import clear_default_cache
@@ -39,9 +51,22 @@ from repro.linalg.orthogonalization import (
     modified_gram_schmidt,
 )
 from repro.mor.prima import prima_reduce
+from repro.partition import partitioned_reduce
 from repro.perf.bench import BenchmarkRunner
+from repro.validation.error_metrics import rom_agreement_report
 
 __all__ = ["WORKLOADS", "run_workloads", "workload_names"]
+
+#: Where the partitioned-vs-monolithic trajectory is recorded (the
+#: acceptance artifact of the partitioned-reduction subsystem).
+PARTITIONED_RESULTS_PATH = Path("benchmarks/results/partitioned_reduce.json")
+
+#: Multi-domain grids of the ``partitioned_cold`` workload per scale:
+#: (rows, cols, n_ports, n_parts, n_moments).
+_PARTITIONED_GRIDS = {
+    "smoke": (32, 32, 12, 4, 3),
+    "laptop": (64, 64, 24, 4, 4),
+}
 
 #: Grid the reduction workloads run on — the paper's ckt2 (Table II), the
 #: scale (smoke/laptop) chosen by the caller.
@@ -148,12 +173,80 @@ def _bdsm_pooled(runner: BenchmarkRunner, benchmark: str, scale: str) -> dict:
     }
 
 
+def _partitioned_cold(runner: BenchmarkRunner, benchmark: str,
+                      scale: str) -> dict:
+    """Partitioned vs. monolithic cold reduce on a multi-domain grid.
+
+    Runs on its own heterogeneous grid (four R/C domains plus a central
+    blockage void, see
+    :func:`~repro.circuit.powergrid.make_multidomain_spec`) rather than
+    the homogeneous ``benchmark`` mesh — sharding is only interesting
+    when the subdomains differ.  ``benchmark`` still labels the payload.
+    """
+    rows, cols, n_ports, n_parts, n_moments = _PARTITIONED_GRIDS.get(
+        scale, _PARTITIONED_GRIDS["laptop"])
+    spec = make_multidomain_spec(rows, cols, n_ports, seed=3,
+                                 name=f"multidomain-{rows}x{cols}-{scale}")
+    system = assemble_mna(build_power_grid(spec))
+    jobs = min(n_parts, os.cpu_count() or 1)
+
+    # The timed closures capture their last ROM so the agreement report
+    # below reuses it instead of paying a fourth reduction of each kind.
+    roms: dict[str, object] = {}
+
+    def run_monolithic():
+        roms["monolithic"] = bdsm_reduce(system, n_moments)[0]
+
+    monolithic = runner.time_callable(run_monolithic,
+                                      setup=clear_default_cache)
+    with SweepEngine(jobs=jobs) as engine:
+        def run_partitioned():
+            roms["partitioned"] = partitioned_reduce(
+                system, n_moments, n_parts=n_parts, engine=engine)[0]
+
+        partitioned = runner.time_callable(run_partitioned,
+                                           setup=clear_default_cache)
+
+    mono_rom = roms["monolithic"]
+    part_rom = roms["partitioned"]
+    agreement = rom_agreement_report(mono_rom, part_rom,
+                                     np.logspace(5, 9, 7))
+    entry = {
+        "seconds": partitioned,
+        "baseline_seconds": monolithic,
+        "speedup": monolithic / partitioned,
+        # Interface overhead vs. pool speedup is machine- and
+        # grid-dependent — recorded for the trajectory, never gated.
+        "gate": False,
+        "grid": system.name,
+        "n": int(system.size),
+        "ports": int(system.n_ports),
+        "n_moments": int(n_moments),
+        "n_parts": int(n_parts),
+        "jobs": int(jobs),
+        "partition": part_rom.partition_info,
+        "macromodel_size": int(part_rom.size),
+        "monolithic_size": int(mono_rom.size),
+        "max_rel_error_vs_monolithic": agreement["max_rel_error"],
+    }
+    payload = {
+        "schema": 1,
+        "scale": scale,
+        "workloads": {"partitioned_cold": entry},
+    }
+    PARTITIONED_RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    PARTITIONED_RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
 #: Registry of the named workloads (name -> fn(runner, benchmark, scale)).
 WORKLOADS = {
     "ortho_blocked_vs_columnwise": _ortho_kernels,
     "bdsm_cold": _bdsm_cold,
     "prima_cold": _prima_cold,
     "bdsm_pooled_clusters": _bdsm_pooled,
+    "partitioned_cold": _partitioned_cold,
 }
 
 

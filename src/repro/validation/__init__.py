@@ -8,6 +8,7 @@ both PRIMA and BDSM), and ROM structure statistics (Fig. 4).
 from repro.validation.error_metrics import (
     max_relative_error,
     relative_error_curve,
+    rom_agreement_report,
     transfer_matrix_error,
 )
 from repro.validation.moment_check import (
@@ -23,6 +24,7 @@ __all__ = [
     "count_matched_moments",
     "max_relative_error",
     "relative_error_curve",
+    "rom_agreement_report",
     "rom_structure_report",
     "transfer_matrix_error",
     "verify_moment_matching",

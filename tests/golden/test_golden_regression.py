@@ -265,6 +265,57 @@ def test_stored_rom_reproduces_pole_goldens(grid, systems, tmp_path):
         f"{np.max(np.abs(reloaded - golden)):.3e}")
 
 
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_partitioned_reduce_matches_goldens(grid, systems):
+    """A k=2 partitioned reduce must pin the existing DC/TF goldens.
+
+    The partitioned macromodel is a different approximation than the
+    monolithic BDSM ROM (richer shard spaces, exactly-preserved interface
+    states), so its poles are not comparable — but its DC solve and its
+    transfer-function samples must track the *full-model* goldens tightly,
+    which pins the subdomain extraction and the interface coupling
+    assembly: any sign slip or dropped coupling block shows up here as a
+    large TF deviation long before it would trip an accuracy test.
+    """
+    from repro.partition import partitioned_reduce
+
+    path = golden_path(grid)
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; run "
+                    "pytest tests/golden --update-golden")
+    stored = _from_json({k: v for k, v in
+                         json.loads(path.read_text()).items()
+                         if k in RTOL})
+    system = systems[grid]
+    solver = _solver_options(REFERENCE_BACKEND)
+    rom, _, _ = partitioned_reduce(
+        system, N_MOMENTS, n_parts=2,
+        options=BDSMOptions(solver=solver))
+
+    # DC IR-drop voltages: moment 0 at s0=0 is matched exactly, so the
+    # macromodel must reproduce the stored DC solve to golden tolerance.
+    m = system.B.shape[1]
+    loads = np.linspace(1e-3, 2e-3, m)
+    dc = ir_drop_analysis(rom, loads).voltages
+    golden_dc = stored["dc_voltages"]
+    scale = float(np.max(np.abs(golden_dc))) or 1.0
+    rtol = RTOL["dc_voltages"]
+    assert np.allclose(dc, golden_dc, rtol=rtol, atol=rtol * scale), (
+        f"{grid}: partitioned DC voltages deviate from golden by "
+        f"{np.max(np.abs(dc - golden_dc)):.3e}")
+
+    # Transfer samples over the golden band.
+    sweep = FrequencyAnalysis(omega_min=1e5, omega_max=1e10, n_points=7,
+                              engine=_sweep_engine())
+    tf = sweep.sweep_entry(rom, output=0, port=1).values
+    golden_tf = stored["tf_samples"]
+    scale = float(np.max(np.abs(golden_tf))) or 1.0
+    rtol = RTOL["tf_samples"]
+    assert np.allclose(tf, golden_tf, rtol=rtol, atol=rtol * scale), (
+        f"{grid}: partitioned TF samples deviate from golden by "
+        f"{np.max(np.abs(tf - golden_tf)):.3e}")
+
+
 def test_goldens_match_reference_backend_exactly(systems):
     """The reference backend must reproduce its own goldens bit-tightly.
 

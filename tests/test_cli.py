@@ -209,3 +209,65 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "adaptive sweep: evaluated" in out
         assert "relerr BDSM" in out
+
+
+class TestPartitionedReduceCommand:
+    def test_partitioned_reduce_prints_summary(self, capsys):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+                     "--partitions", "3", "--partitioner", "bfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P-BDSM" in out
+        assert "3x bfs" in out
+        assert "interface" in out
+
+    def test_partitioned_prima_with_jobs(self, capsys):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--method", "prima", "--partitions", "2",
+                     "--jobs", "2"])
+        assert code == 0
+        assert "P-PRIMA" in capsys.readouterr().out
+
+    def test_partitioned_natural_strategy(self, capsys):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--partitions", "2", "--partitioner", "natural"])
+        assert code == 0
+        assert "natural" in capsys.readouterr().out
+
+    def test_partitioned_save_exports_dense_artifact(self, capsys,
+                                                     tmp_path):
+        from repro.store import load_artifact
+        target = tmp_path / "partitioned.npz"
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--partitions", "2", "--save", str(target)])
+        assert code == 0
+        model = load_artifact(target)
+        assert model.method == "P-BDSM"
+
+    def test_partitioned_store_hits_per_shard(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        argv = ["reduce", "--benchmark", "ckt1", "--moments", "2",
+                "--partitions", "2", "--store", store_dir]
+        assert main(argv) == 0
+        assert "miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_partitioned_rejects_unsupported_method(self, capsys):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--method", "eks", "--partitions", "2"])
+        assert code == 1
+        assert "--partitions" in capsys.readouterr().err
+
+    def test_partitioned_rejects_from_store(self, capsys, tmp_path):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--partitions", "2",
+                     "--store", str(tmp_path / "s"), "--from-store"])
+        assert code == 1
+        assert "per shard" in capsys.readouterr().err
+
+    def test_partitioned_rejects_bad_k(self, capsys):
+        code = main(["reduce", "--benchmark", "ckt1", "--moments", "2",
+                     "--partitions", "0"])
+        assert code == 1
+        assert "--partitions" in capsys.readouterr().err

@@ -90,3 +90,94 @@ class TestBuildPowerGrid:
         # driving-point DC resistances are negative in our sign convention
         # (the source draws current) and non-zero.
         assert np.all(np.diag(np.real(H0)) < 0.0)
+
+
+class TestPadCapacityValidation:
+    """Regression tests for the silent n_pads clamp (now a clear error)."""
+
+    def test_too_many_pads_rejected_up_front(self):
+        # A 2x2 mesh has 4 boundary nodes; the old code silently clamped
+        # a 5-pad request down to 4 pads instead of rejecting it.
+        with pytest.raises(CircuitError, match="cannot place 5 pads"):
+            PowerGridSpec(rows=2, cols=2, n_ports=1, n_pads=5)
+
+    def test_exact_capacity_is_accepted(self):
+        spec = PowerGridSpec(rows=3, cols=3, n_ports=1, n_pads=8,
+                             package_inductance=0.0, seed=1)
+        assert spec.boundary_capacity == 8
+        net = build_power_grid(spec)
+        assert sum(1 for r in net.resistors
+                   if r.name.startswith("Rpad")) == 8
+        # Every pad grabbed a distinct boundary node.
+        pad_nodes = {r.node_pos for r in net.resistors
+                     if r.name.startswith("Rpkg")}
+        assert len(pad_nodes) == 8
+
+    def test_blockage_reduces_capacity(self):
+        from repro.circuit import GridRegion  # noqa: F401  (API sanity)
+        open_spec = PowerGridSpec(rows=8, cols=8, n_ports=2)
+        assert open_spec.boundary_capacity == 2 * (8 + 8) - 4
+
+
+class TestMultiDomainGrids:
+    def test_region_scales_element_values(self):
+        from repro.circuit import GridRegion
+        region = GridRegion(0, 0, 3, 3, r_scale=1.0, c_scale=10.0)
+        base = PowerGridSpec(rows=6, cols=6, n_ports=2, variation=0.0,
+                             node_capacitance=1e-15, seed=0)
+        scaled = PowerGridSpec(rows=6, cols=6, n_ports=2, variation=0.0,
+                               node_capacitance=1e-15, regions=(region,),
+                               seed=0)
+        caps_base = {c.name: c.value for c in build_power_grid(base).capacitors}
+        caps_scaled = {c.name: c.value
+                       for c in build_power_grid(scaled).capacitors}
+        ratios = {round(caps_scaled[name] / caps_base[name], 9)
+                  for name in caps_base}
+        assert ratios == {1.0, 10.0}
+
+    def test_region_validation(self):
+        from repro.circuit import GridRegion
+        with pytest.raises(CircuitError):
+            GridRegion(0, 0, 0, 3)
+        with pytest.raises(CircuitError):
+            GridRegion(0, 0, 2, 2, r_scale=0.0)
+        with pytest.raises(CircuitError):
+            PowerGridSpec(rows=4, cols=4, n_ports=1,
+                          regions=(GridRegion(2, 2, 5, 5),))
+        with pytest.raises(CircuitError):
+            PowerGridSpec(rows=4, cols=4, n_ports=1, regions=("logic",))
+
+    def test_blockage_removes_nodes(self):
+        spec = PowerGridSpec(rows=8, cols=8, n_ports=4, seed=2,
+                             blockages=((3, 3, 2, 2),))
+        assert spec.n_open_nodes == 64 - 4
+        net = build_power_grid(spec)
+        blocked = {f"n{r}_{c}" for r in (3, 4) for c in (3, 4)}
+        for element in net:
+            assert blocked.isdisjoint(element.nodes)
+        net.validate()
+        system = assemble_mna(net)
+        assert np.all(np.isfinite(system.transfer_function(0.0)))
+
+    def test_blockage_validation(self):
+        # Touching the boundary ring would disconnect the pad ring.
+        with pytest.raises(CircuitError, match="boundary ring"):
+            PowerGridSpec(rows=6, cols=6, n_ports=1,
+                          blockages=((0, 2, 2, 2),))
+        with pytest.raises(CircuitError):
+            PowerGridSpec(rows=6, cols=6, n_ports=1, blockages=((2, 2),))
+        # Ports must still fit the surviving nodes.
+        with pytest.raises(CircuitError, match="blocked node"):
+            PowerGridSpec(rows=6, cols=6, n_ports=33,
+                          blockages=((1, 1, 4, 4),))
+
+    def test_make_multidomain_spec(self):
+        from repro.circuit import make_multidomain_spec
+        spec = make_multidomain_spec(12, 12, 6, seed=1)
+        assert len(spec.regions) == 4
+        assert len(spec.blockages) == 1
+        system = assemble_mna(build_power_grid(spec))
+        assert system.n_ports == 6
+        assert np.all(np.isfinite(system.transfer_function(1j * 1e7)))
+        with pytest.raises(CircuitError):
+            make_multidomain_spec(4, 4, 2)

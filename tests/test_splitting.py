@@ -77,3 +77,65 @@ class TestParallelComposition:
     def test_refuses_too_many_ports(self, rc_grid_system):
         with pytest.raises(ReductionError):
             parallel_composition(rc_grid_system, max_ports=2)
+
+
+class TestParallelCompositionEdgeCases:
+    """Satellite coverage: m=1, complex L, and sparsity preservation."""
+
+    def _single_port_system(self):
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+
+        n = 4
+        C = sp.diags([1e-15] * n, format="csr")
+        G = -sp.diags([2.0, 1.0, 1.0, 3.0], format="csr") \
+            + sp.diags([0.5] * (n - 1), 1, format="csr") \
+            + sp.diags([0.5] * (n - 1), -1, format="csr")
+        B = sp.csr_matrix(np.array([[1.0], [0.0], [0.0], [0.0]]))
+        L = sp.csr_matrix(np.array([[0.0, 0.0, 0.0, 1.0]]))
+        return DescriptorSystem(C=C, G=G, B=B, L=L, name="m1")
+
+    def test_m_equals_one_is_identity(self):
+        system = self._single_port_system()
+        big = parallel_composition(system)
+        # One split system: the composition is the system itself (same
+        # size, same matrices, same transfer function).
+        assert big.size == system.size
+        assert np.allclose(big.C.toarray(), system.C.toarray())
+        assert np.allclose(big.G.toarray(), system.G.toarray())
+        assert np.allclose(big.B.toarray(), system.B.toarray())
+        s = 1j * 1e6
+        assert np.allclose(big.transfer_function(s),
+                           system.transfer_function(s))
+
+    def test_complex_output_matrix(self):
+        import scipy.sparse as sp
+        from repro.circuit.mna import DescriptorSystem
+
+        base = self._single_port_system()
+        L = sp.csr_matrix(
+            np.array([[0.0, 1.0 + 2.0j, 0.0, 0.5 - 1.0j]]))
+        system = DescriptorSystem(C=base.C, G=base.G, B=base.B, L=L,
+                                  name="m1-complex")
+        big = parallel_composition(system)
+        assert np.iscomplexobj(big.L.toarray())
+        s = 1j * 3e7
+        assert np.allclose(big.transfer_function(s),
+                           system.transfer_function(s))
+
+    def test_composed_model_preserves_sparsity(self, rc_grid_system):
+        import scipy.sparse as sp
+
+        big = parallel_composition(rc_grid_system)
+        m = rc_grid_system.n_ports
+        for name in ("C", "G", "B", "L"):
+            assert sp.issparse(getattr(big, name)), name
+        # Block-diagonal stacking stores exactly m copies of each pencil's
+        # non-zeros — no densification anywhere.
+        assert big.C.nnz == m * rc_grid_system.C.nnz
+        assert big.G.nnz == m * rc_grid_system.G.nnz
+        assert big.B.nnz == rc_grid_system.B.nnz
+        assert big.L.nnz == m * rc_grid_system.L.nnz
+        density = big.G.nnz / (big.size ** 2)
+        base_density = rc_grid_system.G.nnz / (rc_grid_system.size ** 2)
+        assert density <= base_density / m * 1.001

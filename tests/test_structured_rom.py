@@ -141,3 +141,21 @@ class TestStateReconstruction:
                                 options=BDSMOptions(keep_projection=True))
         with pytest.raises(ReductionError):
             rom.reconstruct_state(np.ones(rom.size + 1))
+
+
+class TestComplexOutputBlocks:
+    def test_rom_block_preserves_complex_L(self):
+        import numpy as np
+
+        from repro.core.structured_rom import ROMBlock
+
+        block = ROMBlock(index=0, C=np.eye(2), G=-np.eye(2),
+                         b=np.ones(2), L=np.array([[1.0 + 2.0j, 0.5]]))
+        assert np.iscomplexobj(block.L)
+        assert block.L[0, 0] == 1.0 + 2.0j
+        # Real inputs (including ints) still become float arrays.
+        real = ROMBlock(index=1, C=np.eye(2, dtype=int),
+                        G=-np.eye(2, dtype=int), b=np.ones(2, dtype=int),
+                        L=np.ones((1, 2), dtype=int))
+        for arr in (real.C, real.G, real.b, real.L):
+            assert arr.dtype == float
