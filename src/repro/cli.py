@@ -18,6 +18,13 @@ script:
     are preserved exactly.  Works with ``--method bdsm`` or ``prima`` and
     composes with ``--store`` (per-shard memoization).
 
+``python -m repro reduce --partitions 8 --interface-order 4 --interface-tol 1e-4 --levels 2``
+    Partitioned again, but the separator is *reduced* too — a
+    Schur-complement-aware Krylov basis spans 4 global moments on the
+    interface, every shard's promoted interface inputs are compressed
+    through it, and ``--levels 2`` re-partitions each shard recursively
+    (:func:`repro.partition.multilevel_reduce`).
+
 ``python -m repro sweep --benchmark ckt1 --moments 6 --output 1 --port 2``
     Print the Fig. 5 style frequency sweep (full model vs BDSM and PRIMA)
     for one transfer-matrix entry.
@@ -88,7 +95,12 @@ from repro.exceptions import ValidationError
 from repro.mor.prima import prima_store_options
 from repro.io import format_table
 from repro.linalg import available_backends, default_cache
-from repro.partition import available_partitioners, partitioned_reduce
+from repro.partition import (
+    DEFAULT_INTERFACE_TOL,
+    PartitionedOptions,
+    available_partitioners,
+    multilevel_reduce,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -180,6 +192,19 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument("--partitioner", default="bfs",
                             choices=available_partitioners(),
                             help="partition strategy for --partitions")
+    reduce_cmd.add_argument("--interface-order", type=int, default=None,
+                            metavar="L",
+                            help="with --partitions: reduce the separator "
+                                 "with a Krylov basis spanning L global "
+                                 "moments (default: exact interface)")
+    reduce_cmd.add_argument("--interface-tol", type=float,
+                            default=DEFAULT_INTERFACE_TOL, metavar="TOL",
+                            help="relative truncation tolerance of the "
+                                 "interface basis (with --interface-order)")
+    reduce_cmd.add_argument("--levels", type=int, default=1, metavar="N",
+                            help="with --partitions: recursion depth of "
+                                 "the multilevel partitioned reduction "
+                                 "(each level re-partitions its shards)")
 
     bench_cmd = sub.add_parser(
         "bench", help="run recorded performance workloads with baseline "
@@ -290,6 +315,23 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         raise ValidationError(
             f"--partitions shards {'/'.join(_STORABLE_METHODS)} "
             f"reductions, not {args.method}")
+    levels = getattr(args, "levels", 1)
+    if levels < 1:
+        raise ValidationError("--levels must be >= 1")
+    interface_order = getattr(args, "interface_order", None)
+    if partitions <= 1 and levels > 1:
+        raise ValidationError("--levels recurses partitioned shards; "
+                              "add --partitions K")
+    if partitions <= 1 and interface_order is not None:
+        raise ValidationError("--interface-order reduces the partition "
+                              "separator; add --partitions K")
+    if interface_order is not None and interface_order < 1:
+        raise ValidationError("--interface-order must be >= 1")
+    interface_tol = getattr(args, "interface_tol", DEFAULT_INTERFACE_TOL)
+    if not 0.0 <= interface_tol < 1.0:
+        raise ValidationError("--interface-tol must be in [0, 1)")
+    interface = PartitionedOptions(interface_order=interface_order,
+                                   interface_tol=interface_tol)
     if partitions > 1 and args.from_store:
         raise ValidationError(
             "--from-store checks the monolithic store key; partitioned "
@@ -327,11 +369,11 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         # fans them out; the store (if any) memoizes per shard.
         engine = SweepEngine(jobs=jobs) if jobs != 1 else None
         try:
-            rom, stats, seconds = partitioned_reduce(
-                system, args.moments, n_parts=partitions,
+            rom, stats, seconds = multilevel_reduce(
+                system, args.moments, levels=levels, n_parts=partitions,
                 partitioner=args.partitioner, method=args.method,
-                options=BDSMOptions(solver=solver), engine=engine,
-                store=store)
+                options=BDSMOptions(solver=solver), interface=interface,
+                engine=engine, store=store)
         finally:
             if engine is not None:
                 engine.close()
@@ -364,8 +406,15 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     }
     if partitions > 1:
         info = rom.partition_info
+        iface_note = f"interface {info.get('interface')}"
+        if info.get("interface_reduced") is not None:
+            iface_note += (f" -> {info['interface_reduced']} "
+                           f"(order {info['interface_order']}, "
+                           f"tol {info['interface_tol']:g})")
         row["partitions"] = (f"{info.get('k')}x {info.get('strategy')}, "
-                             f"interface {info.get('interface')}")
+                             f"{iface_note}")
+        if levels > 1:
+            row["partitions"] += f", {levels} levels"
     print(format_table([row], title="reduction summary"))
     if args.save is not None:
         # Partitioned macromodels export through their dense equivalent —

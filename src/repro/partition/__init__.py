@@ -34,20 +34,34 @@ from repro.partition.graph import (
     register_partitioner,
     structure_adjacency,
 )
+from repro.partition.interface import (
+    DEFAULT_INTERFACE_TOL,
+    InterfaceBasis,
+    PartitionedOptions,
+    compress_subdomain,
+    interface_krylov_basis,
+)
+from repro.partition.multilevel import multilevel_reduce
 from repro.partition.reduce import (
     partitioned_reduce,
     partitioned_store_options,
 )
 
 __all__ = [
+    "DEFAULT_INTERFACE_TOL",
     "GridPartitioner",
+    "InterfaceBasis",
     "PartitionResult",
+    "PartitionedOptions",
     "PartitionedROM",
     "ReducedSubdomain",
     "SeparatorBlock",
     "Subdomain",
     "available_partitioners",
+    "compress_subdomain",
     "extract_subdomains",
+    "interface_krylov_basis",
+    "multilevel_reduce",
     "partitioned_reduce",
     "partitioned_store_options",
     "register_partitioner",

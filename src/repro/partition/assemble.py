@@ -2,8 +2,11 @@
 
 A partitioned reduction replaces each subdomain's internal states with a
 reduced coordinate ``z_i = V_i^T x_i`` while keeping the interface states
-``x_s`` exactly.  That is a congruence projection of the full pencil with
-the global block-diagonal basis ``W = blkdiag(V_1, ..., V_k, I_s)``, so the
+``x_s`` exactly — or, with interface reduction on
+(:mod:`repro.partition.interface`), replacing them too with ``z_s = W^T
+x_s`` for a separator Krylov basis ``W``.  Either way it is a congruence
+projection of the full pencil with the global block-diagonal basis
+``blkdiag(V_1, ..., V_k, I_s or W)``, so the
 macromodel inherits the structure-preserving properties of the PRIMA/BDSM
 projection framework (passivity-friendly congruence, exact DC match for
 ``s0 = 0`` bases) while its pencil stays *bordered block-diagonal*:
@@ -145,6 +148,13 @@ class PartitionedROM:
         Summary of the partition (``PartitionResult.describe()``).
     original_size, original_ports, name, output_names:
         Bookkeeping mirrored from the full model.
+    internal_indices, interface_indices:
+        Optional global state indices of each subdomain's internals and of
+        the separator — the row maps :meth:`global_basis` needs to place
+        the per-shard bases back into full-model coordinates.
+    interface_basis:
+        Optional ``n_s x r_s`` separator basis ``W`` when the interface
+        was reduced (``None`` = interface preserved exactly).
     """
 
     def __init__(self, subdomains: list[ReducedSubdomain], *,
@@ -153,7 +163,10 @@ class PartitionedROM:
                  partition_info: dict | None = None,
                  original_size: int = 0, original_ports: int = 0,
                  name: str = "partitioned-rom",
-                 output_names: list[str] | None = None) -> None:
+                 output_names: list[str] | None = None,
+                 internal_indices: list[np.ndarray] | None = None,
+                 interface_indices: np.ndarray | None = None,
+                 interface_basis: np.ndarray | None = None) -> None:
         if not subdomains:
             raise PartitionError(
                 "a PartitionedROM needs at least one subdomain")
@@ -190,7 +203,23 @@ class PartitionedROM:
         self.name = name
         self.output_names = list(output_names or [])
         self.reusable = True
+        self.interface_basis = (None if interface_basis is None
+                                else np.atleast_2d(
+                                    np.asarray(interface_basis)))
+        self.internal_indices = (
+            None if internal_indices is None
+            else [np.asarray(idx, dtype=np.int64)
+                  for idx in internal_indices])
+        self.interface_indices = (
+            None if interface_indices is None
+            else np.asarray(interface_indices, dtype=np.int64))
+        if self.interface_basis is not None \
+                and self.interface_basis.shape[1] != n_s:
+            raise PartitionError(
+                f"interface basis retains {self.interface_basis.shape[1]} "
+                f"separator states but the interface blocks have {n_s}")
         self._cache: dict[str, sp.spmatrix] = {}
+        self._dense_interface: tuple[np.ndarray, ...] | None = None
         self._reduced_system: ReducedSystem | None = None
 
     # ------------------------------------------------------------------ #
@@ -203,8 +232,14 @@ class PartitionedROM:
 
     @property
     def interface_size(self) -> int:
-        """Number of exactly-preserved interface states ``n_s``."""
+        """Interface block order: ``n_s`` exact states, or ``r_s`` reduced
+        separator coordinates when an interface basis was applied."""
         return int(self.C_ss.shape[0])
+
+    @property
+    def is_interface_reduced(self) -> bool:
+        """True when the separator was reduced (not preserved exactly)."""
+        return self.interface_basis is not None
 
     @property
     def size(self) -> int:
@@ -298,8 +333,17 @@ class PartitionedROM:
         cols = (np.arange(self.n_ports) if rhs_cols is None
                 else np.asarray(rhs_cols, dtype=np.int64).reshape(-1))
         n_s = self.interface_size
-        S = (s * self.C_ss - self.G_ss).toarray().astype(complex)
-        R = self.B_s[:, cols].toarray().astype(complex)
+        # The interface blocks are densified once and reused across every
+        # subsequent sample: frequency sweeps and agreement reports call
+        # this per omega, and re-densifying the (possibly large, exact)
+        # separator pencil each time dominated the query cost.
+        if self._dense_interface is None:
+            self._dense_interface = (self.C_ss.toarray(),
+                                     self.G_ss.toarray(),
+                                     self.B_s.toarray())
+        C_ss, G_ss, B_full = self._dense_interface
+        S = np.asarray(s * C_ss - G_ss, dtype=complex)
+        R = np.array(B_full[:, cols], dtype=complex)
         # Per-subdomain eliminations, each contributing to the Schur
         # complement and the reduced right-hand side.
         eliminated = []
@@ -348,6 +392,84 @@ class PartitionedROM:
     # ------------------------------------------------------------------ #
     # Conversions and reports
     # ------------------------------------------------------------------ #
+    def global_basis(self) -> sp.csr_matrix:
+        """The global congruence basis ``blkdiag(V_1, ..., V_k, W)``.
+
+        Returns the sparse ``n x q`` matrix whose columns are the
+        macromodel's reduced coordinates expressed in full-model states:
+        each subdomain's projection basis scattered to its internal rows,
+        followed by the separator basis ``W`` (or the identity, when the
+        interface is exact) on the interface rows.  Its columns are
+        orthonormal because the blocks occupy disjoint rows.
+
+        This is what lets a macromodel act as a *shard of the next level*
+        in :func:`~repro.partition.multilevel.multilevel_reduce`: the
+        parent projects its blocks with this basis exactly as it would
+        with a directly computed shard basis.
+
+        Requires the reduction to have been run with
+        ``keep_projection=True`` (per-shard bases) and the index maps the
+        driver records.
+        """
+        if self.internal_indices is None or self.interface_indices is None:
+            raise PartitionError(
+                "global_basis() needs the partition index maps; this "
+                "macromodel was assembled without them")
+        if len(self.internal_indices) != self.n_subdomains:
+            raise PartitionError(
+                f"{len(self.internal_indices)} index maps for "
+                f"{self.n_subdomains} subdomains")
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        offset = 0
+        complex_any = False
+        for sub, internal in zip(self.subdomains, self.internal_indices):
+            if sub.basis is None:
+                raise PartitionError(
+                    f"subdomain {sub.index} kept no projection basis; "
+                    "rerun the reduction with keep_projection=True")
+            V = (sub.basis.toarray() if sp.issparse(sub.basis)
+                 else np.atleast_2d(np.asarray(sub.basis)))
+            if V.shape != (internal.shape[0], sub.order):
+                raise PartitionError(
+                    f"subdomain {sub.index}: basis shape {V.shape} does "
+                    f"not match {internal.shape[0]} states x "
+                    f"{sub.order} reduced coordinates")
+            q_i = V.shape[1]
+            rows.append(np.repeat(internal, q_i))
+            cols.append(np.tile(np.arange(offset, offset + q_i),
+                                internal.shape[0]))
+            data.append(V.ravel())
+            complex_any = complex_any or np.iscomplexobj(V)
+            offset += q_i
+        n_s = self.interface_indices.shape[0]
+        if self.interface_basis is not None:
+            W = self.interface_basis
+            r_s = W.shape[1]
+            rows.append(np.repeat(self.interface_indices, r_s))
+            cols.append(np.tile(np.arange(offset, offset + r_s), n_s))
+            data.append(W.ravel())
+            complex_any = complex_any or np.iscomplexobj(W)
+            offset += r_s
+        elif n_s:
+            rows.append(self.interface_indices)
+            cols.append(np.arange(offset, offset + n_s))
+            data.append(np.ones(n_s))
+            offset += n_s
+        if offset != self.size:
+            raise PartitionError(
+                f"global basis spans {offset} columns but the macromodel "
+                f"has {self.size} states")
+        dtype = complex if complex_any else float
+        n = self.original_size
+        return sp.csr_matrix(
+            (np.concatenate([d.astype(dtype) for d in data])
+             if data else np.zeros(0, dtype=dtype),
+             (np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64),
+              np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64))),
+            shape=(n, offset))
+
     def to_reduced_system(self) -> ReducedSystem:
         """Densify into a :class:`~repro.mor.base.ReducedSystem` (cached).
 

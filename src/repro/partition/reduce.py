@@ -23,17 +23,25 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
 
 from repro.analysis.engine import SweepEngine
 from repro.core.bdsm import BDSMOptions, bdsm_reduce, bdsm_store_options
 from repro.exceptions import PartitionError
-from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
+from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
 from repro.mor.prima import prima_reduce, prima_store_options
 from repro.partition.assemble import PartitionedROM, ReducedSubdomain
 from repro.partition.extract import Subdomain, extract_subdomains
 from repro.partition.graph import GridPartitioner, PartitionResult
+from repro.partition.interface import (
+    InterfaceBasis,
+    PartitionedOptions,
+    compress_subdomain,
+    interface_krylov_basis,
+)
 from repro.perf.timers import scoped_timer
 
 __all__ = ["partitioned_reduce", "partitioned_store_options"]
@@ -46,7 +54,9 @@ def partitioned_store_options(n_moments: int, *, s0: complex = 0.0,
                               method: str = "bdsm",
                               options: BDSMOptions | None = None,
                               partition: PartitionResult | None = None,
-                              subdomain: Subdomain | None = None) -> dict:
+                              subdomain: Subdomain | None = None,
+                              interface: PartitionedOptions | None = None,
+                              ) -> dict:
     """Partition-aware canonical store options for one shard reduction.
 
     Extends the shard reducer's own canonical options
@@ -81,12 +91,18 @@ def partitioned_store_options(n_moments: int, *, s0: complex = 0.0,
         record.update(subdomain=int(subdomain.index),
                       size=int(subdomain.size),
                       boundary=int(subdomain.boundary.shape[0]))
+    # Interface-reduction knobs are numerically relevant: the separator
+    # basis changes every shard's promoted inputs, so different interface
+    # options must produce fresh keys even for an identical layout.
+    record["interface_reduction"] = (interface or
+                                     PartitionedOptions()).describe()
     return {**base, "partition": record}
 
 
 def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
                       opts: BDSMOptions, budget: ResourceBudget, store,
                       partition: PartitionResult,
+                      interface: PartitionedOptions | None = None,
                       ) -> tuple[np.ndarray, OrthoStats]:
     """Reduce one shard with BDSM and merge its block bases into one."""
     shard_opts = BDSMOptions(
@@ -103,7 +119,7 @@ def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
     if store is not None:
         options = partitioned_store_options(
             n_moments, s0=s0, method="bdsm", options=opts,
-            partition=partition, subdomain=subdomain)
+            partition=partition, subdomain=subdomain, interface=interface)
         rom, _ = store.get_or_reduce(subdomain.system, "BDSM", options,
                                      build)
     else:
@@ -114,16 +130,62 @@ def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
         raise PartitionError(
             f"subdomain {subdomain.index}: every Krylov candidate "
             "deflated; the shard basis is empty")
-    candidates = np.hstack(columns)
-    basis, merge_stats = block_orthonormalize(
-        candidates, deflation_tol=opts.deflation_tol)
+    basis, merge_stats = _merge_cluster_bases(columns, opts.deflation_tol)
     stats.merge(merge_stats)
     return basis, stats
+
+
+def _merge_cluster_bases(columns: list[np.ndarray], deflation_tol: float,
+                         ) -> tuple[np.ndarray, OrthoStats]:
+    """Merge per-cluster orthonormal blocks into one orthonormal shard basis.
+
+    The cluster bases coming out of a shard BDSM reduction are each
+    orthonormal, but their spans overlap — heavily so once interface
+    compression funnels every cluster through the same reduced separator
+    inputs.  The column-wise deflation fallback of
+    :func:`~repro.linalg.orthogonalization.block_orthonormalize` would
+    therefore fire on nearly every merge and crawl through thousands of
+    BLAS-2 projections.  Assembly only ever uses the merged basis inside a
+    congruence projection, whose transfer function is invariant to the
+    choice of orthonormal basis *within the same span* — so the merge
+    needs span-accurate rank revelation, not column-by-column decision
+    parity.  One column-pivoted Householder QR of the concatenated blocks
+    delivers exactly that in blocked LAPACK kernels: pivoting makes
+    ``|R[j, j]|`` non-increasing, so thresholding the diagonal against
+    ``deflation_tol * |R[0, 0]|`` bounds the residual of every dropped
+    candidate (each input column has unit norm, so the scales are
+    comparable to the column-wise test) and ``Q[:, :rank]`` is an exactly
+    orthonormal basis of the retained span.
+    """
+    candidates = columns[0] if len(columns) == 1 else np.hstack(columns)
+    stats = OrthoStats()
+    k = candidates.shape[1]
+    if len(columns) == 1:
+        # A single cluster basis is already orthonormal; nothing to merge.
+        stats.normalizations += k
+        return np.asarray(candidates), stats
+    Q, R, _ = scipy.linalg.qr(candidates, mode="economic", pivoting=True,
+                              check_finite=False)
+    residuals = np.abs(np.diag(R))
+    rank = 0
+    if residuals.size and residuals[0] > 0.0:
+        rank = int(np.count_nonzero(residuals >
+                                    deflation_tol * residuals[0]))
+        rank = max(rank, 1)
+    stats.normalizations += rank
+    stats.deflations += k - rank
+    # The factorisation projects every candidate against every kept
+    # direction once; count one inner product + update per (candidate,
+    # direction) pair so the partitioned cost reports stay comparable.
+    stats.inner_products += k * rank
+    stats.axpy_updates += k * rank
+    return np.ascontiguousarray(Q[:, :rank]), stats
 
 
 def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
                        opts: BDSMOptions, budget: ResourceBudget, store,
                        partition: PartitionResult,
+                       interface: PartitionedOptions | None = None,
                        ) -> tuple[np.ndarray, OrthoStats]:
     """Reduce one shard with PRIMA and return its global block basis."""
     stats = OrthoStats()
@@ -140,7 +202,7 @@ def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
     if store is not None:
         options = partitioned_store_options(
             n_moments, s0=s0, method="prima", options=opts,
-            partition=partition, subdomain=subdomain)
+            partition=partition, subdomain=subdomain, interface=interface)
         rom, _ = store.get_or_reduce(subdomain.system, "PRIMA", options,
                                      build)
     else:
@@ -155,8 +217,9 @@ def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
 _SHARD_REDUCERS = {"bdsm": _shard_basis_bdsm, "prima": _shard_basis_prima}
 
 
-def _project_subdomain(subdomain: Subdomain,
-                       basis: np.ndarray) -> ReducedSubdomain:
+def _project_subdomain(subdomain: Subdomain, basis: np.ndarray,
+                       interface_basis: InterfaceBasis | None = None,
+                       ) -> ReducedSubdomain:
     """Congruence-project one shard and its interface couplings.
 
     Works entirely from the blocks sliced once at extraction (the shard
@@ -164,18 +227,47 @@ def _project_subdomain(subdomain: Subdomain,
     the :class:`~repro.partition.extract.Subdomain` record) — nothing
     touches the full matrices here, which keeps the per-shard work
     proportional to the shard.
+
+    With a reduced separator basis ``W`` the couplings are projected on
+    both sides (``V^T C[int, sep] W`` etc.), completing the global
+    congruence with ``blkdiag(V_1, ..., V_k, W)``.
     """
     V = basis
     q = V.shape[1]
-    n_s = subdomain.C_is.shape[1]
+    if interface_basis is None:
+        n_s = subdomain.C_is.shape[1]
+        return ReducedSubdomain(
+            index=subdomain.index,
+            C=V.T @ (subdomain.system.C @ V),
+            G=V.T @ (subdomain.system.G @ V),
+            Ec=(subdomain.C_is.T @ V).T if n_s else np.zeros((q, 0)),
+            Eg=(subdomain.G_is.T @ V).T if n_s else np.zeros((q, 0)),
+            Fc=subdomain.C_si @ V if n_s else np.zeros((0, q)),
+            Fg=subdomain.G_si @ V if n_s else np.zeros((0, q)),
+            B=(subdomain.B_rows.T @ V).T,
+            L=subdomain.system.L @ V,
+        )
+    W = interface_basis.W
+    r_s = W.shape[1]
+
+    def dense(product) -> np.ndarray:
+        # Multilevel shard bases are sparse, so coupling products can come
+        # out sparse; the two-sided projection below needs ndarrays.
+        return (product.toarray() if sp.issparse(product)
+                else np.asarray(product))
+
     return ReducedSubdomain(
         index=subdomain.index,
         C=V.T @ (subdomain.system.C @ V),
         G=V.T @ (subdomain.system.G @ V),
-        Ec=(subdomain.C_is.T @ V).T if n_s else np.zeros((q, 0)),
-        Eg=(subdomain.G_is.T @ V).T if n_s else np.zeros((q, 0)),
-        Fc=subdomain.C_si @ V if n_s else np.zeros((0, q)),
-        Fg=subdomain.G_si @ V if n_s else np.zeros((0, q)),
+        Ec=(dense(V.T @ (subdomain.C_is @ W)) if r_s
+            else np.zeros((q, 0))),
+        Eg=(dense(V.T @ (subdomain.G_is @ W)) if r_s
+            else np.zeros((q, 0))),
+        Fc=(W.T @ dense(subdomain.C_si @ V) if r_s
+            else np.zeros((0, q))),
+        Fg=(W.T @ dense(subdomain.G_si @ V) if r_s
+            else np.zeros((0, q))),
         B=(subdomain.B_rows.T @ V).T,
         L=subdomain.system.L @ V,
     )
@@ -185,6 +277,7 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
                        n_parts: int = 4, partitioner: str = "bfs",
                        method: str = "bdsm",
                        options: BDSMOptions | None = None,
+                       interface: PartitionedOptions | None = None,
                        engine: SweepEngine | None = None,
                        n_workers: int = 1,
                        budget: ResourceBudget | None = None,
@@ -212,6 +305,15 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
     options:
         Optional :class:`~repro.core.bdsm.BDSMOptions`; ``deflation_tol``,
         ``solver`` and ``ortho_kernel`` apply to both methods.
+    interface:
+        Optional :class:`~repro.partition.interface.PartitionedOptions`.
+        With ``interface_order`` set, the separator is reduced too: a
+        Schur-complement-aware Krylov basis ``W`` spanning the interface
+        components of the first ``interface_order`` global moments
+        (truncated at ``interface_tol``) replaces the exact interface
+        block, and every shard's promoted inputs are compressed to their
+        ``W`` images before reduction.  Default/``None`` preserves the
+        interface exactly (the original behaviour).
     engine:
         Optional thread-pool :class:`~repro.analysis.engine.SweepEngine`
         whose workers reduce the shards concurrently (shards are
@@ -251,6 +353,8 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
     opts = options or BDSMOptions()
     budget = budget or ResourceBudget.unlimited()
 
+    iface_opts = interface or PartitionedOptions()
+
     start = time.perf_counter()
     with scoped_timer("partition.partition"):
         result = GridPartitioner(k=n_parts,
@@ -258,15 +362,26 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
     with scoped_timer("partition.extract"):
         subdomains, separator = extract_subdomains(system, result)
 
+    interface_basis: InterfaceBasis | None = None
+    if iface_opts.reduces_interface and separator.size:
+        with scoped_timer("partition.interface_basis"):
+            interface_basis = interface_krylov_basis(
+                subdomains, separator, iface_opts.interface_order,
+                s0=s0, tol=iface_opts.interface_tol, solver=opts.solver)
+            subdomains = [compress_subdomain(sub, interface_basis)
+                          for sub in subdomains]
+
     reduce_shard = _SHARD_REDUCERS[method]
 
     def process(subdomain: Subdomain,
                 ) -> tuple[ReducedSubdomain, OrthoStats]:
         with scoped_timer("partition.shard_reduce"):
             basis, stats = reduce_shard(subdomain, n_moments, s0, opts,
-                                        budget, store, result)
+                                        budget, store, result,
+                                        interface=iface_opts)
         with scoped_timer("partition.project"):
-            reduced = _project_subdomain(subdomain, basis)
+            reduced = _project_subdomain(subdomain, basis,
+                                         interface_basis)
         if keep_projection:
             reduced.basis = basis
         return reduced, stats
@@ -289,16 +404,33 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
         reduced_subdomains.append(reduced)
         stats.merge(shard_stats)
 
+    info = result.describe()
+    if interface_basis is None:
+        C_ss, G_ss = separator.C, separator.G
+        B_s, L_s = separator.B, separator.L
+    else:
+        W = interface_basis.W
+        C_ss = W.T @ np.asarray(separator.C @ W)
+        G_ss = W.T @ np.asarray(separator.G @ W)
+        B_s = np.asarray((separator.B.T @ W)).T
+        L_s = np.asarray(separator.L @ W)
+        info.update(interface_reduced=interface_basis.size,
+                    interface_order=interface_basis.order,
+                    interface_tol=interface_basis.tol)
+
     with scoped_timer("partition.assemble"):
         rom = PartitionedROM(
             reduced_subdomains,
-            C_ss=separator.C, G_ss=separator.G,
-            B_s=separator.B, L_s=separator.L,
+            C_ss=C_ss, G_ss=G_ss, B_s=B_s, L_s=L_s,
             s0=s0, n_moments=n_moments, method=method.upper(),
-            partition_info=result.describe(),
+            partition_info=info,
             original_size=int(to_csr(system.C).shape[0]),
             original_ports=int(to_csr(system.B).shape[1]),
             name=f"{getattr(system, 'name', 'system')}-P{method.upper()}",
             output_names=list(getattr(system, "output_names", []) or []),
+            internal_indices=[sub.internal for sub in subdomains],
+            interface_indices=separator.indices,
+            interface_basis=(None if interface_basis is None
+                             else interface_basis.W),
         )
     return rom, stats, time.perf_counter() - start

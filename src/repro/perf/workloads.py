@@ -28,6 +28,20 @@ gate enforces — is part of every recorded run:
     the main results payload *and* to
     ``benchmarks/results/partitioned_reduce.json``; never gated (pool
     speedups and interface fractions are machine- and grid-dependent).
+``partitioned_scaled``
+    Cold interface-reduced multilevel partitioned reduction
+    (:func:`~repro.partition.multilevel_reduce` with a reduced separator
+    basis) vs. the cold monolithic BDSM reduction, on a *port-dominated*
+    multi-domain grid — the regime the partition subsystem targets, where
+    the monolithic Krylov/projection cost grows with the full port count
+    while every shard only sees its own ports plus a few compressed
+    interface injections.  Records the speedup, the macromodel sizes and
+    the transfer-function error against its configured budget.  Recorded
+    to the main payload *and* merged per scale into
+    ``benchmarks/results/partitioned_scaled.json`` (so a ``--quick``
+    smoke run never clobbers the committed laptop entry); never gated
+    in the main payload — the conformance suite asserts on the committed
+    JSON instead.
 """
 
 from __future__ import annotations
@@ -51,7 +65,11 @@ from repro.linalg.orthogonalization import (
     modified_gram_schmidt,
 )
 from repro.mor.prima import prima_reduce
-from repro.partition import partitioned_reduce
+from repro.partition import (
+    PartitionedOptions,
+    multilevel_reduce,
+    partitioned_reduce,
+)
 from repro.perf.bench import BenchmarkRunner
 from repro.validation.error_metrics import rom_agreement_report
 
@@ -66,6 +84,20 @@ PARTITIONED_RESULTS_PATH = Path("benchmarks/results/partitioned_reduce.json")
 _PARTITIONED_GRIDS = {
     "smoke": (32, 32, 12, 4, 3),
     "laptop": (64, 64, 24, 4, 4),
+}
+
+#: Where the interface-reduced multilevel trajectory is recorded, merged
+#: per scale (the acceptance artifact of the interface-reduction PR).
+PARTITIONED_SCALED_PATH = Path("benchmarks/results/partitioned_scaled.json")
+
+#: Port-dominated grids of the ``partitioned_scaled`` workload per scale:
+#: (rows, cols, n_ports, n_parts, n_moments, levels, interface_order,
+#: interface_tol, error_budget).  The port counts are deliberately large —
+#: the monolithic Krylov/projection cost is what the partition subsystem
+#: amortises, and it scales with ``(ports * moments)^2``.
+_SCALED_GRIDS = {
+    "smoke": (64, 64, 256, 4, 3, 1, 3, 1e-4, 5e-2),
+    "laptop": (256, 256, 3072, 8, 4, 2, 4, 1e-4, 5e-2),
 }
 
 #: Grid the reduction workloads run on — the paper's ckt2 (Table II), the
@@ -240,6 +272,87 @@ def _partitioned_cold(runner: BenchmarkRunner, benchmark: str,
     return entry
 
 
+def _partitioned_scaled(runner: BenchmarkRunner, benchmark: str,
+                        scale: str) -> dict:
+    """Interface-reduced multilevel vs. monolithic cold reduce, at scale.
+
+    The grid is port-dominated (see ``_SCALED_GRIDS``): the monolithic
+    BDSM baseline drags every port through its global Krylov recursion
+    and the ``(ports * moments)``-wide congruence projection, while the
+    multilevel partitioned reduction gives each shard only its own ports
+    plus the compressed interface injections.  One repetition per side —
+    the laptop baseline runs for minutes and the recorded quantity is a
+    structural multiple, not a timer-noise measurement.
+    """
+    (rows, cols, n_ports, n_parts, n_moments, levels, interface_order,
+     interface_tol, error_budget) = _SCALED_GRIDS.get(
+        scale, _SCALED_GRIDS["laptop"])
+    spec = make_multidomain_spec(
+        rows, cols, n_ports, seed=3,
+        name=f"multidomain-scaled-{rows}x{cols}-{scale}")
+    system = assemble_mna(build_power_grid(spec))
+    interface = PartitionedOptions(interface_order=interface_order,
+                                   interface_tol=interface_tol)
+
+    roms: dict[str, object] = {}
+
+    def run_monolithic():
+        roms["monolithic"] = bdsm_reduce(system, n_moments)[0]
+
+    def run_multilevel():
+        roms["multilevel"] = multilevel_reduce(
+            system, n_moments, levels=levels, n_parts=n_parts,
+            interface=interface)[0]
+
+    monolithic = runner.time_callable(run_monolithic, repeats=1,
+                                      setup=clear_default_cache)
+    multilevel = runner.time_callable(run_multilevel, repeats=1,
+                                      setup=clear_default_cache)
+
+    mono_rom = roms["monolithic"]
+    multi_rom = roms["multilevel"]
+    agreement = rom_agreement_report(mono_rom, multi_rom,
+                                     np.logspace(5, 9, 7))
+    error = float(agreement["max_rel_error"])
+    entry = {
+        "seconds": multilevel,
+        "baseline_seconds": monolithic,
+        "speedup": monolithic / multilevel,
+        # Machine-dependent wall clock — recorded, never gated here; the
+        # partition conformance suite asserts on the committed JSON.
+        "gate": False,
+        "grid": system.name,
+        "n": int(system.size),
+        "ports": int(system.n_ports),
+        "n_moments": int(n_moments),
+        "n_parts": int(n_parts),
+        "levels": int(levels),
+        "interface_order": int(interface_order),
+        "interface_tol": float(interface_tol),
+        "partition": multi_rom.partition_info,
+        "macromodel_size": int(multi_rom.size),
+        "monolithic_size": int(mono_rom.size),
+        "max_rel_error_vs_monolithic": error,
+        "error_budget": float(error_budget),
+        "within_budget": bool(error <= error_budget),
+    }
+    # Merge by scale: a smoke run updates only its own entry, leaving the
+    # committed laptop trajectory untouched.
+    payload = {"schema": 1, "scales": {}}
+    if PARTITIONED_SCALED_PATH.exists():
+        try:
+            previous = json.loads(PARTITIONED_SCALED_PATH.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if isinstance(previous.get("scales"), dict):
+            payload["scales"].update(previous["scales"])
+    payload["scales"][scale] = entry
+    PARTITIONED_SCALED_PATH.parent.mkdir(parents=True, exist_ok=True)
+    PARTITIONED_SCALED_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
 #: Registry of the named workloads (name -> fn(runner, benchmark, scale)).
 WORKLOADS = {
     "ortho_blocked_vs_columnwise": _ortho_kernels,
@@ -247,6 +360,7 @@ WORKLOADS = {
     "prima_cold": _prima_cold,
     "bdsm_pooled_clusters": _bdsm_pooled,
     "partitioned_cold": _partitioned_cold,
+    "partitioned_scaled": _partitioned_scaled,
 }
 
 
