@@ -97,6 +97,12 @@ from repro.passivity import (
     hamiltonian_passivity_test,
     laguerre_passivity_scan,
 )
+from repro.serve import (
+    ModelRegistry,
+    QueryPlanner,
+    ServeError,
+    ServingStats,
+)
 from repro.store import (
     ModelServer,
     ModelStore,
@@ -126,6 +132,7 @@ __all__ = [
     "GridPartitioner",
     "GridRegion",
     "IRDropResult",
+    "ModelRegistry",
     "ModelServer",
     "ModelStore",
     "Netlist",
@@ -135,6 +142,7 @@ __all__ = [
     "PartitionedROM",
     "PassivityError",
     "PowerGridSpec",
+    "QueryPlanner",
     "QueryRequest",
     "ReducedSystem",
     "ReductionError",
@@ -142,6 +150,8 @@ __all__ = [
     "ReproError",
     "ResourceBudget",
     "ResourceBudgetExceeded",
+    "ServeError",
+    "ServingStats",
     "SimulationError",
     "SingularSystemError",
     "SolverBackendError",

@@ -43,6 +43,19 @@ script:
     Serve transfer-function samples from a previously stored ROM through
     the :class:`~repro.store.ModelServer` — no reduction happens; a missing
     entry is a clean error telling you to populate the store first.
+    ``--warm-budget BYTES`` caps the server's admission-controlled warm
+    set and ``--no-coalesce`` disables the request-coalescing planner
+    (both default to the server defaults; results are bit-identical
+    either way).
+
+``python -m repro serve-bench --requests 240 --clients 4``
+    Benchmark the layered serving stack: reduce ckt1+ckt2 with BDSM and
+    PRIMA (memoized through a model store), warm a
+    :class:`~repro.store.ModelServer`, replay a deterministic
+    popularity-skewed request stream through the naive per-request path
+    and the coalescing planner, verify the answers are bit-identical and
+    print QPS / batch-latency percentiles plus the coalescing speedup.
+    ``--output PATH`` records the run as JSON.
 
 ``python -m repro bench --quick --check``
     Run the named performance workloads of :mod:`repro.perf.workloads`
@@ -77,6 +90,7 @@ from repro import (
     FrequencyAnalysis,
     ModelServer,
     ModelStore,
+    QueryRequest,
     ReproError,
     SolverOptions,
     SweepEngine,
@@ -260,6 +274,51 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--points", type=int, default=9)
     query_cmd.add_argument("--jobs", type=int, default=1,
                            help="sweep workers inside the model server")
+    query_cmd.add_argument("--warm-budget", type=int, default=None,
+                           metavar="BYTES",
+                           help="byte budget of the server's "
+                                "admission-controlled warm set (default: "
+                                "unlimited, no eviction)")
+    query_cmd.add_argument("--coalesce", default=True,
+                           action=argparse.BooleanOptionalAction,
+                           help="plan the query through the coalescing "
+                                "planner (--no-coalesce forces the naive "
+                                "per-request path; results are "
+                                "bit-identical either way)")
+
+    serve_cmd = sub.add_parser(
+        "serve-bench",
+        help="load-test the serving stack: naive vs coalesced QPS")
+    serve_cmd.add_argument("--store", metavar="DIR", default=None,
+                           help="model store directory to reduce into and "
+                                "serve from (default: a temporary store)")
+    serve_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+    serve_cmd.add_argument("--moments", type=int, default=4,
+                           help="moments per reducer for the served ROMs")
+    serve_cmd.add_argument("--requests", type=int, default=240,
+                           help="total requests in the generated stream")
+    serve_cmd.add_argument("--clients", type=int, default=4,
+                           help="concurrent client threads")
+    serve_cmd.add_argument("--batch-size", type=int, default=60,
+                           help="requests per client serve() batch")
+    serve_cmd.add_argument("--duplication", type=float, default=8.0,
+                           help="average recurrence of each unique "
+                                "request template (popularity skew)")
+    serve_cmd.add_argument("--transfer-points", type=int, default=24,
+                           help="max s-points per transfer request")
+    serve_cmd.add_argument("--sweep-points", type=int, default=32,
+                           help="frequency points per sweep request")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="server worker threads")
+    serve_cmd.add_argument("--jobs", type=int, default=1,
+                           help="sweep-engine workers (0 = one per CPU)")
+    serve_cmd.add_argument("--seed", type=int, default=20110314,
+                           help="load-generator seed")
+    serve_cmd.add_argument("--warm-budget", type=int, default=None,
+                           metavar="BYTES",
+                           help="warm-set byte budget (default: unlimited)")
+    serve_cmd.add_argument("--output", metavar="PATH", default=None,
+                           help="also record the run as JSON")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="frequency sweep of one transfer-matrix entry")
@@ -482,17 +541,110 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     name = f"{args.benchmark}/{args.method}"
     engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
-    with ModelServer(store, engine=engine) as server:
+    with ModelServer(store, engine=engine, warm_budget=args.warm_budget,
+                     coalesce=args.coalesce) as server:
         server.load(name, key=key)
-        sweep = server.sweep(name, omega_min=1e5, omega_max=1e12,
-                             n_points=args.points,
-                             output=args.output - 1, port=args.port - 1)
+        request = QueryRequest("sweep", name, {
+            "omega_min": 1e5, "omega_max": 1e12, "n_points": args.points,
+            "output": args.output - 1, "port": args.port - 1})
+        sweep = server.serve([request])[0]
     rows = [{"omega (rad/s)": float(omega), "|H| ROM": float(mag)}
             for omega, mag in zip(sweep.omegas, sweep.magnitude)]
     print(format_table(
         rows, title=f"served H[{args.output},{args.port}] of {name} "
                     f"(no reduction performed)"))
     print(f"model store: served entry {key[:12]} from {args.store}")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    # The load generator lives in repro.serve; imported lazily like the
+    # perf workloads so plain CLI start-up stays fast.
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import LoadSpec, generate_requests, results_equal, run_load
+
+    if args.requests < 1 or args.clients < 1 or args.batch_size < 1:
+        raise ValidationError(
+            "--requests, --clients and --batch-size must be >= 1")
+    spec = LoadSpec(n_requests=args.requests, duplication=args.duplication,
+                    transfer_points=args.transfer_points,
+                    sweep_points=args.sweep_points, seed=args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ModelStore(args.store if args.store is not None else tmp)
+        for benchmark in ("ckt1", "ckt2"):
+            system = make_benchmark(benchmark, scale=args.scale)
+            bdsm_reduce(system, args.moments, store=store)
+            prima_reduce(system, args.moments, store=store)
+        engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
+        with ModelServer(store, engine=engine, max_workers=args.workers,
+                         warm_budget=args.warm_budget) as server:
+            server.warm()
+            models = {name: server.registry.resolve(name)
+                      for name in server.registry.known_names()}
+            requests = generate_requests(models, spec)
+            runs = {}
+            for mode, coalesce in (("naive", False), ("coalesced", True)):
+                runs[mode] = run_load(server, requests,
+                                      clients=args.clients,
+                                      batch_size=args.batch_size,
+                                      coalesce=coalesce,
+                                      collect_results=True)
+            serving = server.serving_stats()
+            warm = server.warm_stats()
+    naive, coalesced = runs["naive"], runs["coalesced"]
+    bit_identical = all(
+        results_equal(a, b)
+        for a, b in zip(naive.results, coalesced.results))
+    speedup = coalesced.qps / naive.qps if naive.qps > 0 else 0.0
+    rows = [{"path": mode,
+             "QPS": round(run.qps, 1),
+             "p50 (ms)": round(run.p50 * 1e3, 2),
+             "p99 (ms)": round(run.p99 * 1e3, 2)}
+            for mode, run in runs.items()]
+    print(format_table(
+        rows, title=f"serving load ({args.requests} requests, "
+                    f"{args.clients} clients, dup {args.duplication:g}, "
+                    f"scale {args.scale})"))
+    print(f"coalescing speedup: {speedup:.2f}x; results bit-identical: "
+          f"{bit_identical}")
+    print(f"serving stats: plans={serving.plans} "
+          f"requests={serving.requests} coalesced={serving.coalesced} "
+          f"({serving.coalescing_rate:.0%}) "
+          f"queue_depth_peak={serving.queue_depth_peak}")
+    print(f"warm set: loads={warm.loads} hits={warm.hits} "
+          f"misses={warm.misses} evictions={warm.evictions} "
+          f"resident_bytes={warm.resident_bytes}")
+    if args.output is not None:
+        payload = {
+            "scale": args.scale,
+            "spec": {"n_requests": spec.n_requests,
+                     "duplication": spec.duplication,
+                     "transfer_points": spec.transfer_points,
+                     "sweep_points": spec.sweep_points,
+                     "seed": spec.seed},
+            "clients": args.clients,
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            "naive": {"qps": naive.qps, "p50_s": naive.p50,
+                      "p99_s": naive.p99},
+            "coalesced": {"qps": coalesced.qps, "p50_s": coalesced.p50,
+                          "p99_s": coalesced.p99},
+            "speedup": speedup,
+            "bit_identical": bit_identical,
+            "coalescing_rate": serving.coalescing_rate,
+        }
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"recorded: {path}")
+    if not bit_identical:
+        print("error: coalesced results diverged from the per-request "
+              "path", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -607,6 +759,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_store(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ReproError as exc:

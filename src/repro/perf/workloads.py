@@ -42,6 +42,16 @@ gate enforces — is part of every recorded run:
     smoke run never clobbers the committed laptop entry); never gated
     in the main payload — the conformance suite asserts on the committed
     JSON instead.
+``serving_load``
+    The layered serving stack under deterministic popularity-skewed mixed
+    query traffic (:mod:`repro.serve.loadgen`): the same request stream is
+    replayed through the naive per-request path and the coalescing
+    planner of one warm :class:`~repro.store.ModelServer`, every coalesced
+    answer is checked bit-identical to its per-request counterpart, and
+    the recorded speedup (the QPS ratio) is **gated** — the coalescing
+    planner must stay ≥2x the naive path within the usual tolerance.
+    QPS and batch-latency percentiles are merged per scale into
+    ``benchmarks/results/serving_load.json``.
 """
 
 from __future__ import annotations
@@ -98,6 +108,22 @@ PARTITIONED_SCALED_PATH = Path("benchmarks/results/partitioned_scaled.json")
 _SCALED_GRIDS = {
     "smoke": (64, 64, 256, 4, 3, 1, 3, 1e-4, 5e-2),
     "laptop": (256, 256, 3072, 8, 4, 2, 4, 1e-4, 5e-2),
+}
+
+#: Where the serving-stack trajectory is recorded, merged per scale (the
+#: acceptance artifact of the layered-serving PR).
+SERVING_LOAD_PATH = Path("benchmarks/results/serving_load.json")
+
+#: Traffic shape of the ``serving_load`` workload per scale:
+#: (n_requests, duplication, transfer_points, sweep_points, clients,
+#: batch_size, moments).  Duplication is the popularity-skew assumption
+#: the coalescing planner exploits; batch size bounds how many duplicates
+#: one plan can see, so the laptop spec pairs heavier skew (12) with
+#: larger batches (120) — at that scale per-call overhead is negligible
+#: next to the solves and dedup is where the whole win comes from.
+_SERVING_SPECS = {
+    "smoke": (240, 8.0, 24, 32, 4, 60, 4),
+    "laptop": (480, 12.0, 24, 32, 4, 120, 6),
 }
 
 #: Grid the reduction workloads run on — the paper's ckt2 (Table II), the
@@ -353,6 +379,111 @@ def _partitioned_scaled(runner: BenchmarkRunner, benchmark: str,
     return entry
 
 
+def _serving_load(runner: BenchmarkRunner, benchmark: str,
+                  scale: str) -> dict:
+    """Coalescing planner vs. naive per-request serving, bit-checked.
+
+    Reduces ckt1+ckt2 with BDSM and PRIMA into a temporary store, warms a
+    :class:`~repro.store.ModelServer` and replays one deterministic
+    popularity-skewed request stream (transfer/sweep/IR-drop mix) through
+    both planning modes with concurrent client threads.  Each mode runs
+    ``runner.repeats`` drives and the best (lowest-wall-clock) drive is
+    recorded; one drive per mode collects results for the bit-identity
+    check.  The gated quantity is the QPS ratio — machine-independent to
+    first order because both paths run the same engine on the same
+    models, so the ratio isolates the planner's dedup/coalescing wins.
+    """
+    import tempfile
+
+    from repro.serve.loadgen import (
+        LoadSpec,
+        generate_requests,
+        results_equal,
+        run_load,
+    )
+    from repro.store.model_store import ModelStore
+    from repro.store.server import ModelServer
+
+    (n_requests, duplication, transfer_points, sweep_points, clients,
+     batch_size, moments) = _SERVING_SPECS.get(scale,
+                                               _SERVING_SPECS["laptop"])
+    spec = LoadSpec(n_requests=n_requests, duplication=duplication,
+                    transfer_points=transfer_points,
+                    sweep_points=sweep_points)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ModelStore(tmp)
+        for name in ("ckt1", "ckt2"):
+            system = make_benchmark(name, scale=scale)
+            bdsm_reduce(system, moments, store=store)
+            prima_reduce(system, moments, store=store)
+        with ModelServer(store) as server:
+            server.warm()
+            models = {name: server.registry.resolve(name)
+                      for name in server.registry.known_names()}
+            requests = generate_requests(models, spec)
+            runs = {}
+            for mode, coalesce in (("naive", False), ("coalesced", True)):
+                best = None
+                for repeat in range(max(1, runner.repeats)):
+                    drive = run_load(server, requests, clients=clients,
+                                     batch_size=batch_size,
+                                     coalesce=coalesce,
+                                     collect_results=repeat == 0)
+                    if best is None or drive.seconds < best.seconds:
+                        best = drive
+                    if repeat == 0:
+                        runs[mode + "_results"] = drive.results
+                runs[mode] = best
+            serving = server.serving_stats()
+    naive, coalesced = runs["naive"], runs["coalesced"]
+    bit_identical = all(
+        results_equal(a, b) for a, b in zip(runs["naive_results"],
+                                            runs["coalesced_results"]))
+    if not bit_identical:
+        raise ValidationError(
+            "serving_load: coalesced results diverged from the "
+            "per-request path")
+    return {
+        "seconds": coalesced.seconds,
+        "baseline_seconds": naive.seconds,
+        # The gated, machine-independent quantity: how much faster the
+        # coalescing planner answers the same traffic.
+        "speedup": naive.seconds / coalesced.seconds,
+        "gate": True,
+        "n_requests": int(n_requests),
+        "duplication": float(duplication),
+        "clients": int(clients),
+        "batch_size": int(batch_size),
+        "bit_identical": True,
+        "coalescing_rate": serving.coalescing_rate,
+        "naive_qps": naive.qps,
+        "coalesced_qps": coalesced.qps,
+        "naive_p50_s": naive.p50,
+        "naive_p99_s": naive.p99,
+        "coalesced_p50_s": coalesced.p50,
+        "coalesced_p99_s": coalesced.p99,
+    }
+
+
+def _serving_load_recorded(runner: BenchmarkRunner, benchmark: str,
+                           scale: str) -> dict:
+    """:func:`_serving_load`, merged per scale into its results JSON."""
+    entry = _serving_load(runner, benchmark, scale)
+    payload = {"schema": 1, "scales": {}}
+    if SERVING_LOAD_PATH.exists():
+        try:
+            previous = json.loads(SERVING_LOAD_PATH.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if isinstance(previous.get("scales"), dict):
+            payload["scales"].update(previous["scales"])
+    payload["scales"][scale] = entry
+    SERVING_LOAD_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SERVING_LOAD_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
 #: Registry of the named workloads (name -> fn(runner, benchmark, scale)).
 WORKLOADS = {
     "ortho_blocked_vs_columnwise": _ortho_kernels,
@@ -361,6 +492,7 @@ WORKLOADS = {
     "bdsm_pooled_clusters": _bdsm_pooled,
     "partitioned_cold": _partitioned_cold,
     "partitioned_scaled": _partitioned_scaled,
+    "serving_load": _serving_load_recorded,
 }
 
 

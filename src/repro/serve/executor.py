@@ -1,0 +1,357 @@
+"""Plan executor: thread pool, per-model locks, scatter outside locks.
+
+The executor is the bottom layer of the serving stack.  It owns the worker
+pool and the per-model lock table, runs :class:`~repro.serve.planner.PlanStep`
+evaluations on the shared :class:`~repro.analysis.engine.SweepEngine`, and
+scatters each step's output back to the original request indices.
+
+Lock discipline:
+
+* each model name has exactly one :class:`threading.RLock`, created on
+  first use and **never discarded** — a model evicted from the warm set
+  and later reloaded keeps serializing through the same lock, so two
+  concurrent queries can never race the lazily-assembled matrix caches of
+  two generations of the same model;
+* multi-model steps (``sweep_many``) acquire locks in canonical sorted
+  order, so overlapping model sets can never deadlock (the invariant the
+  legacy ``sweep_models`` established);
+* locks are scoped to the *engine evaluation only*: request validation and
+  planning happen before a lock is touched, and result scattering happens
+  after it is released, so the serialized section is as narrow as the
+  numerical work itself.
+
+Failure aggregation: :meth:`PlanExecutor.execute` never abandons work.
+Every step future is drained; failed steps mark all the requests they
+covered, and the batch raises :class:`ServeError` carrying every failed
+request's index plus the per-index exceptions and the partial results —
+the fix for the legacy ``serve()`` which raised the first exception and
+silently dropped the rest.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.analysis.engine import SweepEngine
+from repro.analysis.frequency import FrequencyAnalysis, FrequencySweepResult
+from repro.analysis.ir_drop import IRDropResult, ir_drop_analysis
+from repro.analysis.transient import TransientAnalysis, TransientResult
+from repro.exceptions import ReproError, ValidationError
+from repro.serve.planner import ExecutionPlan, PlanStep, QueryRequest
+from repro.serve.registry import ModelRegistry
+from repro.serve.stats import StatsRecorder
+
+__all__ = ["PlanExecutor", "ServeError"]
+
+
+class ServeError(ReproError):
+    """One or more requests of a served batch failed.
+
+    Attributes
+    ----------
+    failures:
+        ``{request_index: exception}`` for every failed request.
+    failed_indices:
+        The failed request indices, sorted.
+    results:
+        The full batch's results with ``None`` at failed indices, so
+        callers can keep the work that did succeed.
+    """
+
+    def __init__(self, failures: dict[int, Exception],
+                 results: list | None = None) -> None:
+        self.failures = dict(failures)
+        self.failed_indices = sorted(self.failures)
+        self.results = results
+        first = self.failures[self.failed_indices[0]]
+        super().__init__(
+            f"{len(self.failed_indices)} of the batch's requests failed "
+            f"(indices {self.failed_indices}); first error: {first}")
+
+
+class PlanExecutor:
+    """Runs execution plans over a worker pool with per-model locking.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` resolving model
+        names (and reloading evicted warm-set entries on demand).
+    engine:
+        Shared :class:`~repro.analysis.engine.SweepEngine` evaluating
+        every step.
+    max_workers:
+        Worker threads answering queued steps (default 4).
+    stats:
+        Optional :class:`~repro.serve.stats.StatsRecorder`; per-kind
+        latency, queue depth and coalescing counters are recorded when
+        given.
+    """
+
+    def __init__(self, registry: ModelRegistry, engine: SweepEngine, *,
+                 max_workers: int = 4,
+                 stats: StatsRecorder | None = None) -> None:
+        if max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        self.registry = registry
+        self.engine = engine
+        self.stats = stats if stats is not None else StatsRecorder()
+        self._max_workers = max_workers
+        self._pool_lock = threading.RLock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._locks: dict[str, threading.RLock] = {}
+        self._locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Locks and pool
+    # ------------------------------------------------------------------ #
+    def lock_for(self, name: str) -> threading.RLock:
+        """The persistent lock serializing queries against ``name``."""
+        with self._locks_guard:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = self._locks[name] = threading.RLock()
+            return lock
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-serve")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (locks and registry stay usable; the
+        next submission starts a fresh pool)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Direct query methods (shared by the facade and the "single" op)
+    # ------------------------------------------------------------------ #
+    def transfer(self, name: str, s_values) -> np.ndarray:
+        """Batched transfer-matrix samples ``H(s)`` (shape ``(k, p, m)``)."""
+        model = self.registry.resolve(name)
+        with self.lock_for(name):
+            return self.engine.sample_matrix(model, s_values)
+
+    def sweep(self, name: str, *, omega_min: float = 1e5,
+              omega_max: float = 1e12, n_points: int = 60,
+              output: int | None = None, port: int | None = None,
+              ) -> FrequencySweepResult:
+        """Log-spaced frequency sweep of one model (full matrix, or one
+        ``(output, port)`` entry when both indices are given)."""
+        if (output is None) != (port is None):
+            raise ValidationError(
+                "pass both output= and port= for an entry sweep, or "
+                "neither for the full transfer matrix")
+        analysis = FrequencyAnalysis(omega_min=omega_min,
+                                     omega_max=omega_max,
+                                     n_points=n_points, engine=self.engine)
+        model = self.registry.resolve(name)
+        with self.lock_for(name):
+            if output is not None and port is not None:
+                return analysis.sweep_entry(model, output, port, label=name)
+            return analysis.sweep(model, label=name)
+
+    def sweep_models(self, names: list[str], *, omega_min: float = 1e5,
+                     omega_max: float = 1e12, n_points: int = 60,
+                     ) -> dict[str, FrequencySweepResult]:
+        """Full-matrix sweeps of several registered models in one batch,
+        fanned through :meth:`FrequencyAnalysis.sweep_many` under the
+        models' locks (acquired in canonical order)."""
+        analysis = FrequencyAnalysis(omega_min=omega_min,
+                                     omega_max=omega_max,
+                                     n_points=n_points, engine=self.engine)
+        resolved = {name: self.registry.resolve(name) for name in names}
+        with self._hold_locks(resolved):
+            return analysis.sweep_many(resolved)
+
+    def transient(self, name: str, sources, *, t_stop: float, dt: float,
+                  method: str = "backward_euler",
+                  x0: np.ndarray | None = None) -> TransientResult:
+        """Fixed-step transient simulation of one registered model."""
+        analysis = TransientAnalysis(t_stop=t_stop, dt=dt, method=method)
+        model = self.registry.resolve(name)
+        with self.lock_for(name):
+            return analysis.run(model, sources, x0=x0, label=name)
+
+    def ir_drop(self, name: str, load_currents, *,
+                reference_voltage: float = 1.0) -> IRDropResult:
+        """Static IR-drop report of one registered model."""
+        model = self.registry.resolve(name)
+        with self.lock_for(name):
+            return ir_drop_analysis(model, load_currents,
+                                    reference_voltage=reference_voltage)
+
+    # ------------------------------------------------------------------ #
+    # Plan execution
+    # ------------------------------------------------------------------ #
+    def submit_request(self, request: QueryRequest) -> Future:
+        """Queue one request as a single-step evaluation (legacy path)."""
+        self.stats.record_requests(request.kind)
+        self.stats.queue_enter()
+        try:
+            return self._get_pool().submit(self._run_single, request)
+        except BaseException:
+            self.stats.queue_exit()
+            raise
+
+    def execute(self, plan: ExecutionPlan) -> list:
+        """Run ``plan`` and return per-request results, preserving order.
+
+        Steps overlap on the worker pool; all step futures are drained
+        before returning.  When any request failed, raises
+        :class:`ServeError` carrying every failed index, the per-index
+        exceptions and the partial results.
+        """
+        self.stats.record_plan()
+        for request in plan.requests:
+            self.stats.record_requests(request.kind)
+        futures = []
+        for step in plan.steps:
+            self.stats.queue_enter()
+            try:
+                futures.append((step, self._get_pool().submit(
+                    self._run_step, step)))
+            except BaseException:
+                self.stats.queue_exit()
+                raise
+        results: list = [None] * plan.n_requests
+        failures: dict[int, Exception] = {}
+        for step, future in futures:
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                indices = _step_indices(step)
+                self.stats.record_errors(step.kind, len(indices))
+                for index in indices:
+                    failures[index] = exc
+                continue
+            # Scatter outside any model lock (the step released its locks
+            # when the evaluation finished).
+            self._scatter(step, outcome, results)
+        if failures:
+            raise ServeError(failures, results=results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Step kernels
+    # ------------------------------------------------------------------ #
+    def _run_single(self, request: QueryRequest):
+        handler = {
+            "transfer": self.transfer,
+            "sweep": self.sweep,
+            "transient": self.transient,
+            "ir_drop": self.ir_drop,
+        }[request.kind]
+        start = time.perf_counter()
+        try:
+            result = handler(request.model, **request.params)
+        except Exception:
+            self.stats.record_errors(request.kind)
+            self.stats.queue_exit()
+            raise
+        self.stats.record_batch(request.kind,
+                                time.perf_counter() - start)
+        self.stats.queue_exit()
+        return result
+
+    def _run_step(self, step: PlanStep):
+        start = time.perf_counter()
+        try:
+            if step.op == "single":
+                kind, model, params = step.payload
+                handler = {
+                    "transfer": self.transfer,
+                    "sweep": self.sweep,
+                    "transient": self.transient,
+                    "ir_drop": self.ir_drop,
+                }[kind]
+                result = handler(model, **params)
+            elif step.op == "transfer_batch":
+                result = self._run_transfer_batch(step)
+            elif step.op == "sweep_many":
+                result = self._run_sweep_many(step)
+            else:  # pragma: no cover - planner never emits other ops
+                raise ValidationError(f"unknown plan op {step.op!r}")
+        finally:
+            self.stats.queue_exit()
+        self.stats.record_batch(step.kind, time.perf_counter() - start,
+                                n_requests=step.n_requests)
+        return result
+
+    def _run_transfer_batch(self, step: PlanStep) -> np.ndarray:
+        model_name, s_concat = step.payload
+        model = self.registry.resolve(model_name)
+        with self.lock_for(model_name):
+            return self.engine.sample_matrix(model, s_concat)
+
+    def _run_sweep_many(self, step: PlanStep) -> dict:
+        omega_min, omega_max, n_points = step.payload
+        analysis = FrequencyAnalysis(omega_min=omega_min,
+                                     omega_max=omega_max,
+                                     n_points=n_points, engine=self.engine)
+        resolved = {name: self.registry.resolve(name)
+                    for name in step.models}
+        with self._hold_locks(resolved):
+            # sweep_many labels each result with its dict key, exactly like
+            # the standalone per-request sweep labels it with the name.
+            return analysis.sweep_many(resolved)
+
+    def _hold_locks(self, resolved: dict):
+        """Context manager holding every named model's lock, acquired in
+        canonical (sorted) order so overlapping sets cannot deadlock."""
+        return _LockSet([self.lock_for(name) for name in sorted(resolved)])
+
+    # ------------------------------------------------------------------ #
+    # Scatter
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scatter(step: PlanStep, outcome, results: list) -> None:
+        if step.op == "single":
+            for index in step.targets:
+                results[index] = outcome
+        elif step.op == "transfer_batch":
+            for start, stop, indices in step.targets:
+                piece = outcome[start:stop]
+                for index in indices:
+                    results[index] = piece
+        else:  # sweep_many
+            for model_name, indices in step.targets:
+                for index in indices:
+                    results[index] = outcome[model_name]
+
+
+class _LockSet:
+    """Context manager acquiring a list of locks in order and releasing
+    them in reverse."""
+
+    def __init__(self, locks: list) -> None:
+        self._locks = locks
+
+    def __enter__(self) -> "_LockSet":
+        for lock in self._locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for lock in reversed(self._locks):
+            lock.release()
+
+
+def _step_indices(step: PlanStep) -> list[int]:
+    """All original request indices a step covers."""
+    if step.op == "single":
+        return list(step.targets)
+    indices: list[int] = []
+    for *_rest, covered in step.targets:
+        indices.extend(covered)
+    return indices

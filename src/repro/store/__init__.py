@@ -18,7 +18,10 @@ actual cross-process service:
     :class:`ModelServer` — warm-loads ROMs from the store into an in-memory
     registry and answers batched transfer-function, sweep, transient and
     IR-drop queries concurrently through the
-    :class:`~repro.analysis.engine.SweepEngine`.
+    :class:`~repro.analysis.engine.SweepEngine`.  Since the layered
+    refactor the class is a thin facade over :mod:`repro.serve`
+    (planner/registry/executor/stats layers), which also adds request
+    coalescing and the admission-controlled warm set.
 """
 
 from repro.store.artifacts import (
@@ -28,13 +31,19 @@ from repro.store.artifacts import (
     save_artifact,
 )
 from repro.store.model_store import ModelStore, StoreEntry, StoreStats
-from repro.store.server import ModelServer, QueryRequest, ServerStats
+from repro.store.server import (
+    ModelServer,
+    QueryRequest,
+    ServeError,
+    ServerStats,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "ModelServer",
     "ModelStore",
     "QueryRequest",
+    "ServeError",
     "ServerStats",
     "StoreEntry",
     "StoreStats",

@@ -1,66 +1,69 @@
 """Concurrent model-serving front end over the model store.
 
 :class:`ModelServer` is the piece that turns a directory of ROM artifacts
-into a *service*: warm-load models from a :class:`~repro.store.ModelStore`
-into an in-memory registry once, then answer many cheap queries — batched
+into a *service*: load models from a :class:`~repro.store.ModelStore` into
+an in-memory registry, then answer many cheap queries — batched
 transfer-function samples, frequency sweeps, transient simulations and
 IR-drop reports — concurrently.  This is exactly the reduce-once /
 query-forever deployment the paper's reusability argument is about: the
 expensive part (Algorithm 1) happened in some earlier process; the server
 only ever pays the ``O(m l^3)`` reduced-model costs.
 
-Concurrency model
------------------
-* requests submitted through :meth:`submit` / :meth:`serve` go onto the
-  thread-safe queue of an internal ``ThreadPoolExecutor`` and are answered
-  on worker threads;
-* each registered model carries its own lock, so queries against *one*
-  model are serialized (BlockDiagonalROM caches assembled matrices lazily;
-  the lock makes that safe) while queries against different models run in
-  parallel;
-* heavy sweeps are delegated to a shared
-  :class:`~repro.analysis.engine.SweepEngine`, reusing PR 2's deterministic
-  chunking, and multi-model sweep requests fan across the engine through
-  :meth:`~repro.analysis.frequency.FrequencyAnalysis.sweep_many`.
+Since the layered refactor, :class:`ModelServer` is a thin facade over the
+:mod:`repro.serve` package:
+
+* the **planner** (:class:`~repro.serve.planner.QueryPlanner`) validates
+  request batches, deduplicates identical requests and coalesces
+  compatible transfer/sweep requests into shared multi-point engine
+  evaluations (bit-identical to per-request evaluation — see the planner
+  module docs for the exact rules);
+* the **registry** (:class:`~repro.serve.registry.ModelRegistry`) resolves
+  model names, and — when a ``warm_budget`` is configured — maintains an
+  admission-controlled LRU warm set over the store: cold misses load on
+  demand, eviction drops models back to store-resident;
+* the **executor** (:class:`~repro.serve.executor.PlanExecutor`) owns the
+  thread pool and the per-model locks, runs plans on the shared
+  :class:`~repro.analysis.engine.SweepEngine`, and scatters results back
+  outside the locks;
+* the **stats** layer (:mod:`repro.serve.stats`) records per-kind
+  latency/queue-depth/coalescing counters (:meth:`serving_stats`), while
+  :meth:`stats` keeps returning the legacy three-field
+  :class:`ServerStats`.
+
+Concurrency model (unchanged): queries against one model are serialized by
+its lock (BlockDiagonalROM caches assembled matrices lazily; the lock makes
+that safe) while queries against different models run in parallel, and
+heavy sweeps are delegated to the shared engine.
 """
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import Future
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.engine import SweepEngine
-from repro.analysis.frequency import FrequencyAnalysis, FrequencySweepResult
-from repro.analysis.ir_drop import IRDropResult, ir_drop_analysis
-from repro.analysis.transient import TransientAnalysis, TransientResult
-from repro.exceptions import ValidationError
-from repro.store.artifacts import load_artifact
+from repro.analysis.frequency import FrequencySweepResult
+from repro.analysis.ir_drop import IRDropResult
+from repro.analysis.transient import TransientResult
+from repro.serve.executor import PlanExecutor, ServeError
+from repro.serve.planner import QueryPlanner, QueryRequest
+from repro.serve.registry import ModelRegistry
+from repro.serve.stats import ServingStats, StatsRecorder
 from repro.store.model_store import ModelStore
 
-__all__ = ["ModelServer", "QueryRequest", "ServerStats"]
-
-
-@dataclass(frozen=True)
-class QueryRequest:
-    """One serving request: ``kind`` selects the analysis, ``model`` the
-    registry entry, ``params`` the keyword arguments of the corresponding
-    :class:`ModelServer` method.
-
-    Kinds: ``"transfer"``, ``"sweep"``, ``"transient"``, ``"ir_drop"``.
-    """
-
-    kind: str
-    model: str
-    params: dict = field(default_factory=dict)
+__all__ = ["ModelServer", "QueryRequest", "ServerStats", "ServeError"]
 
 
 @dataclass
 class ServerStats:
-    """Request counters of one :class:`ModelServer` instance."""
+    """Legacy three-field request counters of one :class:`ModelServer`.
+
+    Kept for backward compatibility; :meth:`ModelServer.serving_stats`
+    exposes the full per-kind latency/queue/coalescing breakdown.
+    """
 
     requests: int = 0
     errors: int = 0
@@ -81,98 +84,79 @@ class ModelServer:
         sweep evaluation (default: serial).
     max_workers:
         Worker threads answering queued requests (default 4).
+    warm_budget:
+        Optional byte budget of the store-backed warm set.  ``None``
+        (default) disables admission control: :meth:`warm` loads every
+        entry and nothing is evicted.  With a budget, :meth:`warm` eagerly
+        loads the most recently used entries that fit, later store-backed
+        loads are admitted as evictable warm entries, and least-recently
+        used models are evicted back to store-resident when the budget
+        overflows.
+    coalesce:
+        Default planning mode of :meth:`serve` (per-call overridable).
+        Coalesced results are bit-identical to the per-request path.
     """
 
     _KINDS = ("transfer", "sweep", "transient", "ir_drop")
 
     def __init__(self, store: ModelStore | None = None, *,
                  engine: SweepEngine | None = None,
-                 max_workers: int = 4) -> None:
-        if max_workers < 1:
-            raise ValidationError("max_workers must be >= 1")
+                 max_workers: int = 4,
+                 warm_budget: int | None = None,
+                 coalesce: bool = True) -> None:
         self.store = store
         self.engine = engine if engine is not None else SweepEngine(jobs=1)
-        self._max_workers = max_workers
-        self._models: dict[str, object] = {}
-        self._model_locks: dict[str, threading.RLock] = {}
-        self._registry_lock = threading.RLock()
-        self._pool: ThreadPoolExecutor | None = None
-        self._stats = ServerStats()
+        self.registry = ModelRegistry(store, warm_budget=warm_budget)
+        self.planner = QueryPlanner(coalesce=coalesce)
+        self._recorder = StatsRecorder()
+        self.executor = PlanExecutor(self.registry, self.engine,
+                                     max_workers=max_workers,
+                                     stats=self._recorder)
 
     # ------------------------------------------------------------------ #
     # Registry
     # ------------------------------------------------------------------ #
     def register(self, name: str, model) -> None:
-        """Make ``model`` queryable under ``name`` (replaces any previous)."""
-        if not name:
-            raise ValidationError("model name must be non-empty")
-        with self._registry_lock:
-            self._models[name] = model
-            self._model_locks[name] = threading.RLock()
-            self._stats.models_loaded += 1
+        """Make ``model`` queryable under ``name`` (replaces any previous;
+        registered models are pinned — never evicted)."""
+        self.registry.register(name, model)
 
     def load(self, name: str, *, key: str | None = None,
              path: str | Path | None = None) -> None:
         """Load a model into the registry from the store or an artifact.
 
         Exactly one of ``key`` (a store key; requires a backing store) or
-        ``path`` (a standalone artifact file) must be given.
+        ``path`` (a standalone artifact file) must be given.  Store loads
+        are admitted to the warm set when a ``warm_budget`` is configured,
+        pinned otherwise.
         """
-        if (key is None) == (path is None):
-            raise ValidationError("pass exactly one of key= or path=")
-        if key is not None:
-            if self.store is None:
-                raise ValidationError(
-                    "this server has no backing store; load by path= or "
-                    "construct it with ModelServer(store)")
-            model = self.store.load(key)
-        else:
-            model = load_artifact(path)
-        self.register(name, model)
+        self.registry.load(name, key=key, path=path)
 
-    def warm(self) -> list[str]:
-        """Warm-load every store entry into the registry.
+    def warm(self, budget: int | None = None) -> list[str]:
+        """Warm-load store entries into the registry.
 
         Models are named ``"<system_name>/<method>"`` (falling back to the
         store key on collision or missing metadata).  Returns the names
-        loaded; unreadable entries are skipped.
+        loaded.  Under a byte budget (``budget`` or the server's
+        ``warm_budget``) only the most recently used entries that fit are
+        loaded eagerly; the rest load lazily on first query.  Unreadable
+        entries are *not* silently dropped: they are counted in
+        :meth:`warm_stats`, logged through the ``repro.serve`` logger and
+        available from :meth:`ModelRegistry.warm
+        <repro.serve.registry.ModelRegistry.warm>` as ``skipped`` keys.
         """
-        if self.store is None:
-            raise ValidationError("this server has no backing store")
-        loaded: list[str] = []
-        for entry in self.store.entries():
-            try:
-                model = self.store.load(entry.key)
-            except ValidationError:
-                continue
-            name = f"{entry.system_name}/{entry.method}"
-            if "?" in name or name in self._models:
-                name = entry.key
-            self.register(name, model)
-            loaded.append(name)
-        return loaded
+        return self.registry.warm(budget).loaded
 
     def models(self) -> list[str]:
-        """Names currently registered, sorted."""
-        with self._registry_lock:
-            return sorted(self._models)
-
-    def _resolve(self, name: str):
-        with self._registry_lock:
-            if name not in self._models:
-                known = ", ".join(sorted(self._models)) or "(none)"
-                raise ValidationError(
-                    f"no model {name!r} registered; known models: {known}")
-            return self._models[name], self._model_locks[name]
+        """Names currently resident in the registry, sorted."""
+        return self.registry.models()
 
     # ------------------------------------------------------------------ #
-    # Queries (thread-safe; per-model locking)
+    # Queries (thread-safe; per-model locking in the executor)
     # ------------------------------------------------------------------ #
     def transfer(self, name: str, s_values) -> np.ndarray:
         """Batched transfer-matrix samples ``H(s)`` (shape ``(k, p, m)``)."""
-        model, lock = self._resolve(name)
-        with lock:
-            return self.engine.sample_matrix(model, s_values)
+        return self.executor.transfer(name, s_values)
 
     def sweep(self, name: str, *, omega_min: float = 1e5,
               omega_max: float = 1e12, n_points: int = 60,
@@ -180,119 +164,83 @@ class ModelServer:
               ) -> FrequencySweepResult:
         """Log-spaced frequency sweep of one model (full matrix, or one
         ``(output, port)`` entry when both indices are given)."""
-        if (output is None) != (port is None):
-            raise ValidationError(
-                "pass both output= and port= for an entry sweep, or "
-                "neither for the full transfer matrix")
-        analysis = FrequencyAnalysis(omega_min=omega_min,
-                                     omega_max=omega_max,
-                                     n_points=n_points, engine=self.engine)
-        model, lock = self._resolve(name)
-        with lock:
-            if output is not None and port is not None:
-                return analysis.sweep_entry(model, output, port, label=name)
-            return analysis.sweep(model, label=name)
+        return self.executor.sweep(name, omega_min=omega_min,
+                                   omega_max=omega_max, n_points=n_points,
+                                   output=output, port=port)
 
     def sweep_models(self, names: list[str], *, omega_min: float = 1e5,
                      omega_max: float = 1e12, n_points: int = 60,
                      ) -> dict[str, FrequencySweepResult]:
-        """Full-matrix sweeps of several registered models in one batch.
-
-        Fans the models across the server's engine via
-        :meth:`~repro.analysis.frequency.FrequencyAnalysis.sweep_many`,
-        holding every involved model's lock for the duration.
-        """
-        analysis = FrequencyAnalysis(omega_min=omega_min,
-                                     omega_max=omega_max,
-                                     n_points=n_points, engine=self.engine)
-        resolved = {name: self._resolve(name) for name in names}
-        # Canonical (sorted) acquisition order: two concurrent calls with
-        # overlapping model sets can never deadlock on each other.
-        ordered = sorted(resolved)
-        for name in ordered:
-            resolved[name][1].acquire()
-        try:
-            systems = {name: resolved[name][0] for name in names}
-            return analysis.sweep_many(systems)
-        finally:
-            for name in reversed(ordered):
-                resolved[name][1].release()
+        """Full-matrix sweeps of several registered models in one batch,
+        fanned across the engine under canonically-ordered model locks."""
+        return self.executor.sweep_models(names, omega_min=omega_min,
+                                          omega_max=omega_max,
+                                          n_points=n_points)
 
     def transient(self, name: str, sources, *, t_stop: float, dt: float,
                   method: str = "backward_euler",
                   x0: np.ndarray | None = None) -> TransientResult:
         """Fixed-step transient simulation of one registered model."""
-        analysis = TransientAnalysis(t_stop=t_stop, dt=dt, method=method)
-        model, lock = self._resolve(name)
-        with lock:
-            return analysis.run(model, sources, x0=x0, label=name)
+        return self.executor.transient(name, sources, t_stop=t_stop, dt=dt,
+                                       method=method, x0=x0)
 
     def ir_drop(self, name: str, load_currents, *,
                 reference_voltage: float = 1.0) -> IRDropResult:
         """Static IR-drop report of one registered model."""
-        model, lock = self._resolve(name)
-        with lock:
-            return ir_drop_analysis(model, load_currents,
-                                    reference_voltage=reference_voltage)
+        return self.executor.ir_drop(name, load_currents,
+                                     reference_voltage=reference_voltage)
 
     # ------------------------------------------------------------------ #
     # Queued front end
     # ------------------------------------------------------------------ #
-    def _get_pool(self) -> ThreadPoolExecutor:
-        with self._registry_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self._max_workers,
-                    thread_name_prefix="repro-serve")
-            return self._pool
-
-    def _dispatch(self, request: QueryRequest):
-        handler = {
-            "transfer": self.transfer,
-            "sweep": self.sweep,
-            "transient": self.transient,
-            "ir_drop": self.ir_drop,
-        }[request.kind]
-        try:
-            return handler(request.model, **request.params)
-        except Exception:
-            with self._registry_lock:
-                self._stats.errors += 1
-            raise
-
     def submit(self, request: QueryRequest) -> Future:
         """Queue one request; the result arrives on the returned future."""
-        if request.kind not in self._KINDS:
-            raise ValidationError(
-                f"unknown request kind {request.kind!r}; "
-                f"choose from {self._KINDS}")
-        with self._registry_lock:
-            self._stats.requests += 1
-        return self._get_pool().submit(self._dispatch, request)
+        # Validation runs in the planner so errors surface at submit time,
+        # exactly like the legacy kind check.
+        self.planner.plan([request])
+        return self.executor.submit_request(request)
 
-    def serve(self, requests: list[QueryRequest]) -> list:
+    def serve(self, requests: list[QueryRequest], *,
+              coalesce: bool | None = None) -> list:
         """Answer a batch of requests concurrently, preserving order.
 
-        Queries against distinct models overlap on the worker pool; queries
-        against one model are serialized by its lock.  Raises the first
-        request's exception if any request failed.
+        The batch is planned first (validation, dedup and — with
+        ``coalesce`` left at the server default of ``True`` — coalescing
+        of compatible transfer/sweep requests into shared evaluations,
+        bit-identical to per-request execution; duplicates share one
+        result object, so treat served results as read-only).  Steps
+        overlap on the worker pool; queries against one model serialize on
+        its lock.
+
+        Every request's outcome is collected — a failing request no longer
+        abandons the rest of the batch.  When any request failed, raises
+        :class:`~repro.serve.executor.ServeError` carrying every failed
+        request's index, the per-index exceptions and the partial results.
         """
-        futures = [self.submit(request) for request in requests]
-        return [future.result() for future in futures]
+        planner = self.planner if coalesce is None \
+            else QueryPlanner(coalesce=coalesce)
+        return self.executor.execute(planner.plan(requests))
 
     def stats(self) -> ServerStats:
-        """Request/error/load counters of this server."""
-        with self._registry_lock:
-            return ServerStats(requests=self._stats.requests,
-                               errors=self._stats.errors,
-                               models_loaded=self._stats.models_loaded)
+        """Legacy request/error/load counters of this server."""
+        serving = self._recorder.snapshot()
+        registry = self.registry.stats()
+        return ServerStats(requests=serving.requests,
+                           errors=serving.errors,
+                           models_loaded=registry.loads)
+
+    def serving_stats(self) -> ServingStats:
+        """Per-kind latency/queue-depth/coalescing statistics."""
+        return self._recorder.snapshot()
+
+    def warm_stats(self):
+        """Warm-set hit/miss/eviction/skip counters
+        (:class:`~repro.serve.registry.WarmSetStats`)."""
+        return self.registry.stats()
 
     def close(self) -> None:
         """Shut down the worker pool (the registry stays usable)."""
-        with self._registry_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        self.executor.close()
 
     def __enter__(self) -> "ModelServer":
         return self
