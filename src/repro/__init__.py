@@ -81,6 +81,15 @@ from repro.partition import (
     available_partitioners,
     partitioned_reduce,
 )
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    span_tree_report,
+    to_chrome_trace,
+    to_prometheus,
+    trace_span,
+    tracing_enabled,
+)
 from repro.perf import default_registry, scoped_timer
 from repro.mor import (
     ReducedSystem,
@@ -174,9 +183,11 @@ __all__ = [
     "count_matched_moments",
     "default_cache",
     "default_registry",
+    "disable_tracing",
     "dynamic_ir_drop",
     "dynamic_ir_drop_batch",
     "eks_reduce",
+    "enable_tracing",
     "enforce_passivity",
     "get_solver",
     "hamiltonian_passivity_test",
@@ -198,7 +209,12 @@ __all__ = [
     "rom_structure_report",
     "save_artifact",
     "scoped_timer",
+    "span_tree_report",
     "svdmor_reduce",
+    "to_chrome_trace",
+    "to_prometheus",
+    "trace_span",
+    "tracing_enabled",
     "verify_moment_matching",
     "write_netlist",
 ]

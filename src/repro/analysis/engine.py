@@ -43,6 +43,17 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.linalg.backends import SolverOptions, process_worker_init
 from repro.linalg.krylov import ShiftedOperator
+from repro.obs.metrics import default_metrics
+from repro.obs.tracing import (
+    attach_context,
+    capture_context,
+    default_tracer,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    trace_span,
+)
+from repro.perf.timers import default_registry
 
 __all__ = ["SweepEngine", "AdaptiveSweepResult"]
 
@@ -120,6 +131,55 @@ def _effective_options(solver: SolverOptions | None,
     if parallel and opts.use_cache:
         opts = replace(opts, use_cache=False)
     return opts
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side wrappers: trace-context hand-off and telemetry collection
+# --------------------------------------------------------------------------- #
+def _thread_chunk_call(kernel, task, ctx):
+    """Run one chunk on a pool thread under the submitter's trace context.
+
+    Contextvars do not follow work onto pool threads, so the context
+    captured at dispatch is re-attached here; the ``engine.chunk`` span
+    (a no-op while tracing is disabled) then parents every span the
+    kernel opens.  The kernel itself is untouched — results stay
+    bit-identical to the serial path.
+    """
+    with attach_context(ctx):
+        with trace_span("engine.chunk", executor="thread",
+                        kernel=getattr(kernel, "__name__", str(kernel))):
+            return kernel(task)
+
+
+def _process_chunk_call(payload):
+    """Run one chunk in a worker process and ship its telemetry home.
+
+    Process workers accumulate timers/counters/metrics into *their own*
+    process-local default registries, which historically died with the
+    pool.  This wrapper snapshots (and resets) those registries after the
+    kernel runs and returns ``(result, telemetry)`` so the parent can
+    merge them — and, when tracing is on, re-attaches the submitter's
+    span context so worker spans land under the dispatching span.
+    """
+    kernel, task, ctx = payload
+    if ctx is not None and ctx.enabled:
+        enable_tracing()
+    else:
+        disable_tracing()
+    with attach_context(ctx):
+        with trace_span("engine.chunk", executor="process",
+                        kernel=getattr(kernel, "__name__", str(kernel))):
+            result = kernel(task)
+    registry = default_registry()
+    metrics = default_metrics()
+    telemetry = {
+        "perf": registry.snapshot(include_samples=True),
+        "metrics": metrics.snapshot(),
+        "spans": [span.as_dict() for span in drain_spans()],
+    }
+    registry.reset()
+    metrics.reset()
+    return result, telemetry
 
 
 # --------------------------------------------------------------------------- #
@@ -341,11 +401,34 @@ class SweepEngine:
             pass
 
     def _execute(self, kernel, tasks: list) -> list:
-        """Run ``kernel`` over ``tasks``, preserving task order."""
+        """Run ``kernel`` over ``tasks``, preserving task order.
+
+        Parallel dispatches capture the submitting trace context so
+        worker spans re-attach to the dispatching span (threads *and*
+        processes); process dispatches additionally merge each worker's
+        perf/metrics snapshots and finished spans back into the parent's
+        default registries, so per-chunk telemetry survives the pool.
+        """
         workers = min(self.resolved_jobs(), len(tasks))
         if workers <= 1:
             return [kernel(task) for task in tasks]
-        return list(self._get_pool().map(kernel, tasks))
+        ctx = capture_context()
+        pool = self._get_pool()
+        if self.executor == "process":
+            payloads = [(kernel, task, ctx) for task in tasks]
+            outcomes = list(pool.map(_process_chunk_call, payloads))
+            registry = default_registry()
+            metrics = default_metrics()
+            tracer = default_tracer()
+            results = []
+            for result, telemetry in outcomes:
+                results.append(result)
+                registry.merge_snapshot(telemetry.get("perf") or {})
+                metrics.merge_snapshot(telemetry.get("metrics") or {})
+                tracer.ingest(telemetry.get("spans") or ())
+            return results
+        return list(pool.map(
+            lambda task: _thread_chunk_call(kernel, task, ctx), tasks))
 
     def _split(self, values: np.ndarray) -> list[np.ndarray]:
         jobs = min(self.resolved_jobs(), len(values))

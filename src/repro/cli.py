@@ -57,6 +57,20 @@ script:
     print QPS / batch-latency percentiles plus the coalescing speedup.
     ``--output PATH`` records the run as JSON.
 
+``python -m repro trace --benchmark ckt1 --method bdsm --serve``
+    Run a cold traced reduction (plus, with ``--serve``, one served sweep
+    through a temporary :class:`~repro.store.ModelServer`) and print the
+    hierarchical span tree — the quickest "where did the time go" view.
+    ``--out trace.json`` additionally writes the Chrome trace-event JSON
+    (load it in Perfetto or ``chrome://tracing``).  The same Chrome trace
+    is available from real runs via ``--trace-out PATH`` on ``reduce``,
+    ``query``, ``serve-bench`` and ``bench``.
+
+``python -m repro stats --benchmark ckt1 --method bdsm --serve``
+    Same canned run, but print the collected counters, gauges and timer
+    histograms in the Prometheus text exposition format (``--out`` writes
+    the exposition to a file for a file-based scrape).
+
 ``python -m repro bench --quick --check``
     Run the named performance workloads of :mod:`repro.perf.workloads`
     (blocked vs. column-wise orthogonalisation, cold BDSM/PRIMA, pooled
@@ -109,6 +123,14 @@ from repro.exceptions import ValidationError
 from repro.mor.prima import prima_store_options
 from repro.io import format_table
 from repro.linalg import available_backends, default_cache
+from repro.obs import (
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    span_tree_report,
+    to_prometheus,
+    write_chrome_trace,
+)
 from repro.partition import (
     DEFAULT_INTERFACE_TOL,
     PartitionedOptions,
@@ -219,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="with --partitions: recursion depth of "
                                  "the multilevel partitioned reduction "
                                  "(each level re-partitions its shards)")
+    _add_trace_out(reduce_cmd)
 
     bench_cmd = sub.add_parser(
         "bench", help="run recorded performance workloads with baseline "
@@ -249,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "speedup regressed >20%% vs the baseline")
     bench_cmd.add_argument("--update-baseline", action="store_true",
                            help="also write the results to --baseline")
+    _add_trace_out(bench_cmd)
 
     store_cmd = sub.add_parser(
         "store", help="inspect or clear a persistent model store")
@@ -285,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "planner (--no-coalesce forces the naive "
                                 "per-request path; results are "
                                 "bit-identical either way)")
+    _add_trace_out(query_cmd)
 
     serve_cmd = sub.add_parser(
         "serve-bench",
@@ -319,6 +344,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="warm-set byte budget (default: unlimited)")
     serve_cmd.add_argument("--output", metavar="PATH", default=None,
                            help="also record the run as JSON")
+    _add_trace_out(serve_cmd)
+
+    for observe in ("trace", "stats"):
+        obs_cmd = sub.add_parser(
+            observe,
+            help=("run a canned traced reduction (+ optional serve) and "
+                  + ("print the hierarchical span tree"
+                     if observe == "trace" else
+                     "print Prometheus-format metrics")))
+        obs_cmd.add_argument("--benchmark", default="ckt1",
+                             choices=sorted(BENCHMARKS))
+        obs_cmd.add_argument("--method", default="bdsm",
+                             choices=sorted(_STORABLE_METHODS))
+        obs_cmd.add_argument("--moments", type=int, default=4)
+        obs_cmd.add_argument("--scale", default="smoke", choices=SCALES)
+        obs_cmd.add_argument("--jobs", type=int, default=1,
+                             help="sweep-engine workers for the served "
+                                  "query (0 = one per CPU)")
+        obs_cmd.add_argument("--serve", action="store_true",
+                             help="also serve one sweep query through a "
+                                  "temporary ModelServer (adds the "
+                                  "serve.plan/step/engine_eval spans)")
+        obs_cmd.add_argument("--min-ms", type=float, default=0.0,
+                             help="(trace) prune spans shorter than this "
+                                  "many milliseconds from the tree")
+        obs_cmd.add_argument("--out", metavar="PATH", default=None,
+                             help="also write the Chrome trace JSON "
+                                  "(trace) or the text exposition (stats) "
+                                  "to PATH")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="frequency sweep of one transfer-matrix entry")
@@ -648,6 +702,75 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_out(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="enable span tracing for this run and write the "
+                          "Chrome trace-event JSON to PATH (open in "
+                          "Perfetto / chrome://tracing)")
+
+
+def _run_observed(args: argparse.Namespace) -> None:
+    """The canned pipeline behind ``repro trace`` / ``repro stats``: one
+    cold reduction and, with ``--serve``, one served sweep query."""
+    import tempfile
+
+    system = make_benchmark(args.benchmark, scale=args.scale)
+    if not args.serve:
+        _REDUCERS[args.method](system, args.moments, SolverOptions())
+        return
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ModelStore(tmp)
+        _REDUCERS[args.method](system, args.moments, SolverOptions(), store)
+        name = f"{args.benchmark}/{args.method}"
+        key = store.key_for(system, args.method.upper(),
+                            _store_options(args.method, args.moments))
+        engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
+        with ModelServer(store, engine=engine) as server:
+            server.load(name, key=key)
+            server.serve([QueryRequest("sweep", name, {
+                "omega_min": 1e5, "omega_max": 1e12, "n_points": 9,
+                "output": 0, "port": 0})])
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    enable_tracing()
+    try:
+        _run_observed(args)
+    finally:
+        spans = drain_spans()
+        disable_tracing()
+    print(span_tree_report(spans, min_duration=args.min_ms / 1e3), end="")
+    if args.out is not None:
+        path = write_chrome_trace(spans, args.out)
+        print(f"chrome trace written to {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import default_metrics
+    from repro.perf import default_registry
+
+    default_metrics().reset()
+    default_registry().reset()
+    enable_tracing()
+    try:
+        _run_observed(args)
+    finally:
+        drain_spans()
+        disable_tracing()
+    text = to_prometheus(default_metrics().snapshot(),
+                         default_registry().snapshot())
+    print(text, end="")
+    if args.out is not None:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"metrics exposition written to {path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.output < 1 or args.port < 1:
         print("error: --output and --port are 1-based indices",
@@ -748,26 +871,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    commands = {
+        "benchmarks": lambda a: _cmd_benchmarks(),
+        "reduce": _cmd_reduce,
+        "sweep": _cmd_sweep,
+        "store": _cmd_store,
+        "query": _cmd_query,
+        "serve-bench": _cmd_serve_bench,
+        "bench": _cmd_bench,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
+    }
+    handler = commands.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2  # pragma: no cover
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        enable_tracing()
     try:
-        if args.command == "benchmarks":
-            return _cmd_benchmarks()
-        if args.command == "reduce":
-            return _cmd_reduce(args)
-        if args.command == "sweep":
-            return _cmd_sweep(args)
-        if args.command == "store":
-            return _cmd_store(args)
-        if args.command == "query":
-            return _cmd_query(args)
-        if args.command == "serve-bench":
-            return _cmd_serve_bench(args)
-        if args.command == "bench":
-            return _cmd_bench(args)
+        return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    parser.error(f"unknown command {args.command!r}")
-    return 2  # pragma: no cover
+    finally:
+        if trace_out is not None:
+            spans = drain_spans()
+            disable_tracing()
+            path = write_chrome_trace(spans, trace_out)
+            print(f"chrome trace written to {path} "
+                  f"({len(spans)} spans)")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,6 +44,7 @@ from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
 from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
+from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
 __all__ = ["BDSMOptions", "bdsm_reduce", "bdsm_store_options"]
@@ -116,6 +117,7 @@ def bdsm_store_options(n_moments: int, *, s0: complex = 0.0,
             "keep_projection": bool(opts.keep_projection)}
 
 
+@traced("bdsm.reduce")
 def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
                 options: BDSMOptions | None = None,
                 budget: ResourceBudget | None = None,

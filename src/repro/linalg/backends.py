@@ -46,6 +46,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import SingularSystemError, SolverBackendError
+from repro.obs.metrics import default_metrics
+from repro.obs.tracing import trace_span
 from repro.linalg.sparse_utils import (
     as_dense,
     is_symmetric,
@@ -655,11 +657,28 @@ def get_solver(matrix, *, options: SolverOptions | None = None,
     backend = select_backend(matrix, opts)
     factory = _BACKENDS[backend]
     if not opts.use_cache:
-        return factory(matrix, opts)
+        with trace_span("linalg.factorize", backend=backend, cache="off"):
+            return factory(matrix, opts)
     store = cache if cache is not None else default_cache()
     base = key if key is not None else matrix_fingerprint(matrix)
     full_key = (base, backend, opts.cache_signature(backend))
-    return store.get_or_build(full_key, lambda: factory(matrix, opts))
+    built_here = False
+
+    def _build() -> LinearSolver:
+        # Runs only on a cache miss (get_or_build's internal get() already
+        # counted it), so the span and metric label stay miss-accurate.
+        nonlocal built_here
+        built_here = True
+        default_metrics().increment("linalg.factorize.cache",
+                                    backend=backend, result="miss")
+        with trace_span("linalg.factorize", backend=backend, cache="miss"):
+            return factory(matrix, opts)
+
+    solver = store.get_or_build(full_key, _build)
+    if not built_here:
+        default_metrics().increment("linalg.factorize.cache",
+                                    backend=backend, result="hit")
+    return solver
 
 
 def solve(matrix, rhs, *, options: SolverOptions | None = None,

@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import DeflationError, ReductionError
+from repro.obs.tracing import trace_span
 from repro.linalg.backends import (
     FactorizationCache,
     SolverOptions,
@@ -151,7 +152,9 @@ class ShiftedOperator:
             raise ReductionError(
                 f"right-hand side has {rhs.shape[0]} rows, expected {self.n}"
             )
-        out = self._solver.solve(rhs)
+        with trace_span("linalg.solve", backend=self._solver.name,
+                        columns=1 if rhs.ndim == 1 else rhs.shape[1]):
+            out = self._solver.solve(rhs)
         self._solve_count += 1 if out.ndim == 1 else out.shape[1]
         return out
 

@@ -25,6 +25,7 @@ from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ReducedSystem, ResourceBudget
+from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
 __all__ = ["prima_reduce", "prima_store_options", "congruence_project"]
@@ -92,6 +93,7 @@ def prima_store_options(n_moments: int, *, s0: complex = 0.0,
             "keep_projection": bool(keep_projection)}
 
 
+@traced("prima.reduce")
 def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
                  budget: ResourceBudget | None = None,
                  keep_projection: bool = False,

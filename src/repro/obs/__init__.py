@@ -1,0 +1,81 @@
+"""Unified observability layer: hierarchical spans + metrics core.
+
+``repro.obs`` is the library's single source of truth for "where did the
+time go".  It has two halves:
+
+* :mod:`repro.obs.tracing` — a hierarchical span tracer with contextvar
+  parent propagation, explicit capture/attach hand-off across
+  ``SweepEngine`` thread and process workers, exception-safe closing,
+  and a near-zero-cost disabled path (gated by the ``obs_overhead``
+  perf workload);
+* :mod:`repro.obs.metrics` — counters, gauges and bounded-reservoir
+  histograms, including the one shared percentile implementation that
+  :mod:`repro.perf.timers` and :mod:`repro.serve.stats` both build on.
+
+Exporters (:mod:`repro.obs.export`) render either half as Chrome
+trace-event JSON (Perfetto), Prometheus text exposition, or an indented
+span-tree report; the ``repro trace`` / ``repro stats`` subcommands and
+the ``--trace-out`` flags are thin wrappers over them.
+
+This package deliberately imports nothing from the rest of the library
+(stdlib only), so every layer — linalg, mor, partition, analysis, store,
+serve, perf — can instrument itself without import cycles.
+"""
+
+from repro.obs.export import (
+    span_tree_report,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    default_metrics,
+    percentile,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    attach_context,
+    capture_context,
+    current_span,
+    default_tracer,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    trace_span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "attach_context",
+    "capture_context",
+    "current_span",
+    "default_metrics",
+    "default_tracer",
+    "disable_tracing",
+    "drain_spans",
+    "enable_tracing",
+    "percentile",
+    "span_tree_report",
+    "to_chrome_trace",
+    "to_prometheus",
+    "trace_span",
+    "traced",
+    "tracing_enabled",
+    "write_chrome_trace",
+]

@@ -51,6 +51,7 @@ from repro.partition.reduce import (
     _project_subdomain,
     partitioned_reduce,
 )
+from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
 __all__ = ["multilevel_reduce"]
@@ -108,6 +109,7 @@ def _project_recursive(subdomain: Subdomain, child_rom: PartitionedROM,
     )
 
 
+@traced("partition.multilevel_reduce")
 def multilevel_reduce(system, n_moments: int, *, levels: int = 1,
                       s0: complex = 0.0, n_parts: int = 4,
                       partitioner: str = "bfs", method: str = "bdsm",

@@ -42,6 +42,7 @@ from repro.partition.interface import (
     compress_subdomain,
     interface_krylov_basis,
 )
+from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
 __all__ = ["partitioned_reduce", "partitioned_store_options"]
@@ -273,6 +274,7 @@ def _project_subdomain(subdomain: Subdomain, basis: np.ndarray,
     )
 
 
+@traced("partition.reduce")
 def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
                        n_parts: int = 4, partitioner: str = "bfs",
                        method: str = "bdsm",

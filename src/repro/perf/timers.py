@@ -7,6 +7,22 @@ solves — without attaching a profiler.  The accounting is a dictionary
 update behind one lock per record, a few hundred nanoseconds per scope, so
 it stays on permanently.
 
+Since the observability layer landed, this module is a thin facade over
+:mod:`repro.obs`:
+
+* every :class:`TimerStat` carries a bounded
+  :class:`~repro.obs.metrics.Reservoir`, so ``as_dict()`` now reports
+  ``p50_seconds``/``p99_seconds`` from the one shared percentile
+  implementation (0.0 before the first record);
+* :func:`scoped_timer` also opens a :func:`~repro.obs.tracing.trace_span`
+  of the same name, so every already-instrumented scope
+  (``bdsm.cluster_bases``, ``prima.krylov``, ...) shows up in the span
+  tree for free when tracing is enabled — and costs one boolean check
+  when it is not;
+* :meth:`PerfRegistry.merge_snapshot` folds a worker process's snapshot
+  back into the parent registry (``SweepEngine`` ships these home at
+  chunk completion, so process-pool telemetry is no longer lost).
+
 Usage::
 
     from repro.perf import default_registry, scoped_timer
@@ -15,7 +31,8 @@ Usage::
         ...  # timed work
 
     default_registry().snapshot()
-    # {"timers": {"bdsm.cluster_bases": {"count": 4, "total_seconds": ...}},
+    # {"timers": {"bdsm.cluster_bases": {"count": 4, "total_seconds": ...,
+    #                                    "p50_seconds": ..., ...}},
     #  "counters": {}}
 
 All registry operations are thread-safe (BDSM chunks run on a pool).
@@ -27,7 +44,10 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Reservoir
+from repro.obs.tracing import trace_span
 
 __all__ = [
     "PerfRegistry",
@@ -46,17 +66,34 @@ class TimerStat:
     total_seconds: float = 0.0
     min_seconds: float = math.inf
     max_seconds: float = 0.0
+    reservoir: Reservoir = field(default_factory=Reservoir, compare=False)
 
     def record(self, seconds: float) -> None:
         self.count += 1
         self.total_seconds += seconds
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
+        self.reservoir.observe(seconds)
 
     @property
     def mean_seconds(self) -> float:
         """Average scope duration (0.0 before the first record)."""
         return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median duration over the recent window (0.0 when empty)."""
+        return self.reservoir.p50
+
+    @property
+    def p99_seconds(self) -> float:
+        """99th-percentile duration over the recent window (0.0 when
+        empty)."""
+        return self.reservoir.p99
+
+    def copy(self) -> "TimerStat":
+        return TimerStat(self.count, self.total_seconds, self.min_seconds,
+                         self.max_seconds, self.reservoir.copy())
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-ready summary of this stat."""
@@ -66,6 +103,8 @@ class TimerStat:
             "mean_seconds": self.mean_seconds,
             "min_seconds": self.min_seconds if self.count else 0.0,
             "max_seconds": self.max_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
         }
 
 
@@ -108,8 +147,7 @@ class PerfRegistry:
     def timers(self) -> dict[str, TimerStat]:
         """Copy of the accumulated timer stats."""
         with self._lock:
-            return {name: TimerStat(stat.count, stat.total_seconds,
-                                    stat.min_seconds, stat.max_seconds)
+            return {name: stat.copy()
                     for name, stat in self._timers.items()}
 
     def counters(self) -> dict[str, int]:
@@ -117,14 +155,50 @@ class PerfRegistry:
         with self._lock:
             return dict(self._counters)
 
-    def snapshot(self) -> dict:
-        """JSON-ready snapshot of every timer and counter."""
+    def snapshot(self, *, include_samples: bool = False) -> dict:
+        """JSON-ready snapshot of every timer and counter.
+
+        With ``include_samples=True`` each timer entry additionally
+        carries its reservoir window, making the snapshot suitable for
+        exact :meth:`merge_snapshot` across process boundaries.
+        """
         timers = self.timers()
-        return {
+        out: dict = {
             "timers": {name: stat.as_dict()
                        for name, stat in sorted(timers.items())},
             "counters": dict(sorted(self.counters().items())),
         }
+        if include_samples:
+            for name, stat in timers.items():
+                out["timers"][name]["samples"] = stat.reservoir.samples()
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. shipped home from a
+        ``SweepEngine`` process worker) into this registry.
+
+        Counter values and timer count/total/min/max add exactly; timer
+        percentile windows merge exactly when the snapshot was taken
+        with ``include_samples=True`` (otherwise the incoming window is
+        unknown and only the scalar stats merge).
+        """
+        with self._lock:
+            for name, entry in (snapshot.get("timers") or {}).items():
+                stat = self._timers.get(name)
+                if stat is None:
+                    stat = self._timers[name] = TimerStat()
+                incoming_count = int(entry.get("count", 0))
+                if not incoming_count:
+                    continue
+                stat.count += incoming_count
+                stat.total_seconds += entry.get("total_seconds", 0.0)
+                stat.min_seconds = min(stat.min_seconds,
+                                       entry.get("min_seconds", math.inf))
+                stat.max_seconds = max(stat.max_seconds,
+                                       entry.get("max_seconds", 0.0))
+                stat.reservoir.extend_window(entry.get("samples") or ())
+            for name, value in (snapshot.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
 
     def reset(self) -> None:
         """Drop all accumulated timers and counters."""
@@ -143,10 +217,15 @@ def default_registry() -> PerfRegistry:
 
 
 @contextmanager
-def scoped_timer(name: str, registry: PerfRegistry | None = None):
-    """Time the enclosed block into ``registry`` (default: process-wide)."""
-    with (registry or _DEFAULT_REGISTRY).timer(name):
-        yield
+def scoped_timer(name: str, registry: PerfRegistry | None = None, **tags):
+    """Time the enclosed block into ``registry`` (default: process-wide).
+
+    Also opens a :func:`~repro.obs.tracing.trace_span` of the same name
+    (a no-op while tracing is disabled), so every scoped timer doubles
+    as a span in the trace tree."""
+    with trace_span(name, **tags):
+        with (registry or _DEFAULT_REGISTRY).timer(name):
+            yield
 
 
 def increment_counter(name: str, amount: int = 1,

@@ -52,12 +52,20 @@ gate enforces — is part of every recorded run:
     planner must stay ≥2x the naive path within the usual tolerance.
     QPS and batch-latency percentiles are merged per scale into
     ``benchmarks/results/serving_load.json``.
+``obs_overhead``
+    The observability layer's cost contract on the cold PRIMA reduce:
+    tracing-disabled instrumentation overhead (no-op span price x spans
+    per run over the untraced reduce time) is asserted <= 3 % inside the
+    workload, and the enabled/disabled wall-clock ratio is recorded and
+    **gated**.  Merged per scale into
+    ``benchmarks/results/obs_overhead.json``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -75,12 +83,21 @@ from repro.linalg.orthogonalization import (
     modified_gram_schmidt,
 )
 from repro.mor.prima import prima_reduce
+from repro.obs.metrics import default_metrics
+from repro.obs.tracing import (
+    default_tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_span,
+    tracing_enabled,
+)
 from repro.partition import (
     PartitionedOptions,
     multilevel_reduce,
     partitioned_reduce,
 )
 from repro.perf.bench import BenchmarkRunner
+from repro.perf.timers import default_registry
 from repro.validation.error_metrics import rom_agreement_report
 
 __all__ = ["WORKLOADS", "run_workloads", "workload_names"]
@@ -364,18 +381,7 @@ def _partitioned_scaled(runner: BenchmarkRunner, benchmark: str,
     }
     # Merge by scale: a smoke run updates only its own entry, leaving the
     # committed laptop trajectory untouched.
-    payload = {"schema": 1, "scales": {}}
-    if PARTITIONED_SCALED_PATH.exists():
-        try:
-            previous = json.loads(PARTITIONED_SCALED_PATH.read_text())
-        except (OSError, ValueError):
-            previous = {}
-        if isinstance(previous.get("scales"), dict):
-            payload["scales"].update(previous["scales"])
-    payload["scales"][scale] = entry
-    PARTITIONED_SCALED_PATH.parent.mkdir(parents=True, exist_ok=True)
-    PARTITIONED_SCALED_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _merge_scale(PARTITIONED_SCALED_PATH, scale, entry)
     return entry
 
 
@@ -469,18 +475,116 @@ def _serving_load_recorded(runner: BenchmarkRunner, benchmark: str,
                            scale: str) -> dict:
     """:func:`_serving_load`, merged per scale into its results JSON."""
     entry = _serving_load(runner, benchmark, scale)
+    _merge_scale(SERVING_LOAD_PATH, scale, entry)
+    return entry
+
+
+#: Where the tracing-overhead gate is recorded, merged per scale (the
+#: acceptance artifact of the observability layer).
+OBS_OVERHEAD_PATH = Path("benchmarks/results/obs_overhead.json")
+
+#: Hard in-workload budget: fraction of a cold PRIMA reduce the *disabled*
+#: tracing instrumentation may cost (the acceptance bar is <= 3%).
+OBS_OVERHEAD_BUDGET = 0.03
+
+
+def _merge_scale(path: Path, scale: str, entry: dict) -> None:
+    """Merge ``entry`` under ``scale`` into a per-scale results JSON, so a
+    smoke run never clobbers the committed laptop entry."""
     payload = {"schema": 1, "scales": {}}
-    if SERVING_LOAD_PATH.exists():
+    if path.exists():
         try:
-            previous = json.loads(SERVING_LOAD_PATH.read_text())
+            previous = json.loads(path.read_text())
         except (OSError, ValueError):
             previous = {}
         if isinstance(previous.get("scales"), dict):
             payload["scales"].update(previous["scales"])
     payload["scales"][scale] = entry
-    SERVING_LOAD_PATH.parent.mkdir(parents=True, exist_ok=True)
-    SERVING_LOAD_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _obs_overhead(runner: BenchmarkRunner, benchmark: str,
+                  scale: str) -> dict:
+    """Tracing overhead on the cold PRIMA workload, disabled and enabled.
+
+    Two quantities are recorded:
+
+    * the **disabled-path overhead** — the cost of every ``trace_span``
+      call site returning the shared no-op while tracing is off.  It is
+      measured deterministically: a microbenchmark prices one no-op span
+      entry/exit, the enabled run counts how many spans one cold reduce
+      opens, and the product over the untraced reduce time bounds the
+      fraction.  The workload *asserts* this stays within
+      ``OBS_OVERHEAD_BUDGET`` (3%) — tracing must be free when off;
+    * the **enabled/disabled wall-clock ratio** as the recorded
+      ``speedup`` (enabled over disabled, ~1.0), gated against the
+      baseline so a regression in either path trips the perf check.
+    """
+    system, n_moments = _grid(benchmark, scale)
+    was_enabled = tracing_enabled()
+    disable_tracing()
+    tracer = default_tracer()
+
+    def reduce_cold() -> None:
+        prima_reduce(system, n_moments)
+
+    try:
+        disabled = runner.time_callable(reduce_cold,
+                                        setup=clear_default_cache)
+
+        def setup_enabled() -> None:
+            clear_default_cache()
+            tracer.drain()
+
+        enable_tracing()
+        setup_enabled()
+        reduce_cold()
+        spans_per_run = len(tracer.drain())
+        enabled = runner.time_callable(reduce_cold, setup=setup_enabled)
+    finally:
+        disable_tracing()
+        tracer.drain()
+
+    # Price one disabled trace_span call site (kwargs included — tags are
+    # evaluated whether or not tracing is on).
+    n_calls = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        with trace_span("obs.noop", backend="x", cache="off"):
+            pass
+    noop_seconds = (time.perf_counter() - t0) / n_calls
+
+    overhead_fraction = (noop_seconds * spans_per_run / disabled
+                         if disabled > 0 else 0.0)
+    if overhead_fraction > OBS_OVERHEAD_BUDGET:
+        raise ValidationError(
+            f"obs_overhead: disabled-tracing overhead "
+            f"{overhead_fraction:.2%} exceeds the "
+            f"{OBS_OVERHEAD_BUDGET:.0%} budget "
+            f"({spans_per_run} spans x {noop_seconds * 1e9:.0f} ns over "
+            f"{disabled:.4f} s)")
+
+    entry = {
+        "seconds": disabled,
+        "baseline_seconds": enabled,
+        # Gated ~1.0 ratio: how much the *enabled* tracer costs.  A drop
+        # means either the disabled path got slower or the enabled path
+        # got faster than the untraced one — both worth a look.
+        "speedup": enabled / disabled,
+        "gate": True,
+        "grid": system.name,
+        "n": int(system.size),
+        "n_moments": int(n_moments),
+        "spans_per_run": int(spans_per_run),
+        "noop_span_seconds": noop_seconds,
+        "disabled_overhead_fraction": overhead_fraction,
+        "overhead_budget": OBS_OVERHEAD_BUDGET,
+        "enabled_overhead_fraction": max(0.0, enabled / disabled - 1.0),
+    }
+    _merge_scale(OBS_OVERHEAD_PATH, scale, entry)
+    if was_enabled:
+        enable_tracing()
     return entry
 
 
@@ -493,12 +597,51 @@ WORKLOADS = {
     "partitioned_cold": _partitioned_cold,
     "partitioned_scaled": _partitioned_scaled,
     "serving_load": _serving_load_recorded,
+    "obs_overhead": _obs_overhead,
 }
 
 
 def workload_names() -> list[str]:
     """All registered workload names, in registry order."""
     return list(WORKLOADS)
+
+
+def _workload_metrics() -> dict:
+    """JSON-ready attribution snapshot of one workload's run: per-scope
+    span totals (from the default perf registry) and cache hit rates
+    (from the default metrics registry)."""
+    perf = default_registry().snapshot()
+    metrics = default_metrics().snapshot()
+    counters: dict[str, float] = dict(perf.get("counters") or {})
+    for item in metrics.get("counters", ()):
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(item["labels"].items()))
+        key = item["name"] + (f"{{{labels}}}" if labels else "")
+        counters[key] = counters.get(key, 0) + item["value"]
+
+    def rate(name: str) -> float | None:
+        hits = sum(i["value"] for i in metrics.get("counters", ())
+                   if i["name"] == name and i["labels"].get("result") == "hit")
+        misses = sum(i["value"] for i in metrics.get("counters", ())
+                     if i["name"] == name
+                     and i["labels"].get("result") == "miss")
+        total = hits + misses
+        return hits / total if total else None
+
+    out = {
+        "span_totals": {
+            scope: {"count": stat["count"],
+                    "total_seconds": stat["total_seconds"]}
+            for scope, stat in (perf.get("timers") or {}).items()},
+        "counters": counters,
+    }
+    for label, name in (("factorize_cache_hit_rate", "linalg.factorize.cache"),
+                        ("store_hit_rate", "store.fetch"),
+                        ("warm_set_hit_rate", "serve.warm_set")):
+        value = rate(name)
+        if value is not None:
+            out[label] = value
+    return out
 
 
 def run_workloads(names=None, *, benchmark: str = DEFAULT_BENCHMARK,
@@ -517,5 +660,11 @@ def run_workloads(names=None, *, benchmark: str = DEFAULT_BENCHMARK,
     runner = BenchmarkRunner(repeats=repeats)
     runner.set_meta(benchmark=benchmark, scale=scale, repeats=repeats)
     for name in selected:
-        runner.record(name, WORKLOADS[name](runner, benchmark, scale))
+        # Reset the process-wide telemetry so each workload's snapshot
+        # attributes cache hits and span totals to *its* run only.
+        default_registry().reset()
+        default_metrics().reset()
+        entry = dict(WORKLOADS[name](runner, benchmark, scale))
+        entry["metrics"] = _workload_metrics()
+        runner.record(name, entry)
     return runner.to_payload()

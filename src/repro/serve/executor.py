@@ -41,6 +41,7 @@ from repro.analysis.frequency import FrequencyAnalysis, FrequencySweepResult
 from repro.analysis.ir_drop import IRDropResult, ir_drop_analysis
 from repro.analysis.transient import TransientAnalysis, TransientResult
 from repro.exceptions import ReproError, ValidationError
+from repro.obs.tracing import attach_context, capture_context, trace_span
 from repro.serve.planner import ExecutionPlan, PlanStep, QueryRequest
 from repro.serve.registry import ModelRegistry
 from repro.serve.stats import StatsRecorder
@@ -117,6 +118,11 @@ class PlanExecutor:
                 lock = self._locks[name] = threading.RLock()
             return lock
 
+    def _locked(self, name: str) -> "_LockSet":
+        """Hold ``name``'s lock, timing the acquisition as a
+        ``serve.lock_wait`` span (lock contention made visible)."""
+        return _LockSet([self.lock_for(name)], names=name)
+
     def _get_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
@@ -139,8 +145,9 @@ class PlanExecutor:
     def transfer(self, name: str, s_values) -> np.ndarray:
         """Batched transfer-matrix samples ``H(s)`` (shape ``(k, p, m)``)."""
         model = self.registry.resolve(name)
-        with self.lock_for(name):
-            return self.engine.sample_matrix(model, s_values)
+        with self._locked(name):
+            with trace_span("serve.engine_eval", op="transfer", model=name):
+                return self.engine.sample_matrix(model, s_values)
 
     def sweep(self, name: str, *, omega_min: float = 1e5,
               omega_max: float = 1e12, n_points: int = 60,
@@ -156,10 +163,12 @@ class PlanExecutor:
                                      omega_max=omega_max,
                                      n_points=n_points, engine=self.engine)
         model = self.registry.resolve(name)
-        with self.lock_for(name):
-            if output is not None and port is not None:
-                return analysis.sweep_entry(model, output, port, label=name)
-            return analysis.sweep(model, label=name)
+        with self._locked(name):
+            with trace_span("serve.engine_eval", op="sweep", model=name):
+                if output is not None and port is not None:
+                    return analysis.sweep_entry(model, output, port,
+                                                label=name)
+                return analysis.sweep(model, label=name)
 
     def sweep_models(self, names: list[str], *, omega_min: float = 1e5,
                      omega_max: float = 1e12, n_points: int = 60,
@@ -172,7 +181,9 @@ class PlanExecutor:
                                      n_points=n_points, engine=self.engine)
         resolved = {name: self.registry.resolve(name) for name in names}
         with self._hold_locks(resolved):
-            return analysis.sweep_many(resolved)
+            with trace_span("serve.engine_eval", op="sweep_many",
+                            models=",".join(sorted(resolved))):
+                return analysis.sweep_many(resolved)
 
     def transient(self, name: str, sources, *, t_stop: float, dt: float,
                   method: str = "backward_euler",
@@ -180,16 +191,18 @@ class PlanExecutor:
         """Fixed-step transient simulation of one registered model."""
         analysis = TransientAnalysis(t_stop=t_stop, dt=dt, method=method)
         model = self.registry.resolve(name)
-        with self.lock_for(name):
-            return analysis.run(model, sources, x0=x0, label=name)
+        with self._locked(name):
+            with trace_span("serve.engine_eval", op="transient", model=name):
+                return analysis.run(model, sources, x0=x0, label=name)
 
     def ir_drop(self, name: str, load_currents, *,
                 reference_voltage: float = 1.0) -> IRDropResult:
         """Static IR-drop report of one registered model."""
         model = self.registry.resolve(name)
-        with self.lock_for(name):
-            return ir_drop_analysis(model, load_currents,
-                                    reference_voltage=reference_voltage)
+        with self._locked(name):
+            with trace_span("serve.engine_eval", op="ir_drop", model=name):
+                return ir_drop_analysis(model, load_currents,
+                                        reference_voltage=reference_voltage)
 
     # ------------------------------------------------------------------ #
     # Plan execution
@@ -199,7 +212,8 @@ class PlanExecutor:
         self.stats.record_requests(request.kind)
         self.stats.queue_enter()
         try:
-            return self._get_pool().submit(self._run_single, request)
+            return self._get_pool().submit(self._run_single, request,
+                                           capture_context())
         except BaseException:
             self.stats.queue_exit()
             raise
@@ -215,12 +229,15 @@ class PlanExecutor:
         self.stats.record_plan()
         for request in plan.requests:
             self.stats.record_requests(request.kind)
+        # Steps run on pool threads; hand them the submitting span so
+        # their serve.step spans re-attach under it in the trace tree.
+        ctx = capture_context()
         futures = []
         for step in plan.steps:
             self.stats.queue_enter()
             try:
                 futures.append((step, self._get_pool().submit(
-                    self._run_step, step)))
+                    self._run_step, step, ctx)))
             except BaseException:
                 self.stats.queue_exit()
                 raise
@@ -237,7 +254,9 @@ class PlanExecutor:
                 continue
             # Scatter outside any model lock (the step released its locks
             # when the evaluation finished).
-            self._scatter(step, outcome, results)
+            with trace_span("serve.scatter", op=step.op,
+                            n_requests=step.n_requests):
+                self._scatter(step, outcome, results)
         if failures:
             raise ServeError(failures, results=results)
         return results
@@ -245,7 +264,12 @@ class PlanExecutor:
     # ------------------------------------------------------------------ #
     # Step kernels
     # ------------------------------------------------------------------ #
-    def _run_single(self, request: QueryRequest):
+    def _run_single(self, request: QueryRequest, ctx=None):
+        with attach_context(ctx):
+            with trace_span("serve.step", op="single", kind=request.kind):
+                return self._run_single_body(request)
+
+    def _run_single_body(self, request: QueryRequest):
         handler = {
             "transfer": self.transfer,
             "sweep": self.sweep,
@@ -264,7 +288,13 @@ class PlanExecutor:
         self.stats.queue_exit()
         return result
 
-    def _run_step(self, step: PlanStep):
+    def _run_step(self, step: PlanStep, ctx=None):
+        with attach_context(ctx):
+            with trace_span("serve.step", op=step.op, kind=step.kind,
+                            n_requests=step.n_requests):
+                return self._run_step_body(step)
+
+    def _run_step_body(self, step: PlanStep):
         start = time.perf_counter()
         try:
             if step.op == "single":
@@ -291,8 +321,11 @@ class PlanExecutor:
     def _run_transfer_batch(self, step: PlanStep) -> np.ndarray:
         model_name, s_concat = step.payload
         model = self.registry.resolve(model_name)
-        with self.lock_for(model_name):
-            return self.engine.sample_matrix(model, s_concat)
+        with self._locked(model_name):
+            with trace_span("serve.engine_eval", op="transfer_batch",
+                            model=model_name,
+                            n_points=int(len(s_concat))):
+                return self.engine.sample_matrix(model, s_concat)
 
     def _run_sweep_many(self, step: PlanStep) -> dict:
         omega_min, omega_max, n_points = step.payload
@@ -304,12 +337,16 @@ class PlanExecutor:
         with self._hold_locks(resolved):
             # sweep_many labels each result with its dict key, exactly like
             # the standalone per-request sweep labels it with the name.
-            return analysis.sweep_many(resolved)
+            with trace_span("serve.engine_eval", op="sweep_many",
+                            models=",".join(sorted(resolved))):
+                return analysis.sweep_many(resolved)
 
     def _hold_locks(self, resolved: dict):
         """Context manager holding every named model's lock, acquired in
         canonical (sorted) order so overlapping sets cannot deadlock."""
-        return _LockSet([self.lock_for(name) for name in sorted(resolved)])
+        names = sorted(resolved)
+        return _LockSet([self.lock_for(name) for name in names],
+                        names=",".join(names))
 
     # ------------------------------------------------------------------ #
     # Scatter
@@ -332,14 +369,20 @@ class PlanExecutor:
 
 class _LockSet:
     """Context manager acquiring a list of locks in order and releasing
-    them in reverse."""
+    them in reverse.
 
-    def __init__(self, locks: list) -> None:
+    Acquisition is timed as one ``serve.lock_wait`` span (tagged with the
+    model names), so per-model lock contention — invisible before the
+    observability layer — shows up directly in the trace tree."""
+
+    def __init__(self, locks: list, names: str = "") -> None:
         self._locks = locks
+        self._names = names
 
     def __enter__(self) -> "_LockSet":
-        for lock in self._locks:
-            lock.acquire()
+        with trace_span("serve.lock_wait", models=self._names):
+            for lock in self._locks:
+                lock.acquire()
         return self
 
     def __exit__(self, *exc_info) -> None:

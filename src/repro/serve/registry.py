@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import default_metrics
+from repro.obs.tracing import trace_span
 
 if TYPE_CHECKING:  # avoid a circular import with repro.store at runtime
     from repro.store.model_store import ModelStore
@@ -181,7 +183,9 @@ class ModelRegistry:
                 result.deferred.append(name)
                 continue
             try:
-                model = self.store.load(entry.key)
+                with trace_span("serve.warm_load", key=entry.key,
+                                model=name):
+                    model = self.store.load(entry.key)
             except ValidationError as exc:
                 with self._lock:
                     self._stats.skipped += 1
@@ -219,6 +223,7 @@ class ModelRegistry:
             if name in self._warm:
                 self._warm.move_to_end(name)
                 self._stats.hits += 1
+                default_metrics().increment("serve.warm_set", result="hit")
                 return self._warm[name]
             key = self._catalog.get(name)
         if key is None:
@@ -228,7 +233,9 @@ class ModelRegistry:
         # Cold miss: reload from the store and admit.  The load runs
         # outside the registry lock so resolves of resident models are
         # never blocked behind disk reads.
-        model = self.store.load(key)
+        default_metrics().increment("serve.warm_set", result="miss")
+        with trace_span("serve.cold_load", model=name, key=key):
+            model = self.store.load(key)
         with self._lock:
             self._stats.misses += 1
             self._admit(name, model, self._entry_bytes(key))
@@ -280,11 +287,16 @@ class ModelRegistry:
         self._stats.loads += 1
         effective = budget if budget is not None else self.warm_budget
         if effective is None:
+            default_metrics().set_gauge("serve.warm_resident_bytes",
+                                        self._stats.resident_bytes)
             return
         while self._stats.resident_bytes > effective and len(self._warm) > 1:
             victim, _ = self._warm.popitem(last=False)
             self._stats.resident_bytes -= self._sizes.pop(victim, 0)
             self._stats.evictions += 1
+            default_metrics().increment("serve.warm_evictions")
+        default_metrics().set_gauge("serve.warm_resident_bytes",
+                                    self._stats.resident_bytes)
 
     def _drop_warm(self, name: str) -> None:
         if name in self._warm:

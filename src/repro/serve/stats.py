@@ -24,8 +24,9 @@ executor; :meth:`StatsRecorder.snapshot` returns an immutable-by-convention
 from __future__ import annotations
 
 import threading
-from collections import deque
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import Reservoir
 
 __all__ = ["KindStats", "ServingStats", "StatsRecorder", "REQUEST_KINDS"]
 
@@ -46,8 +47,8 @@ class KindStats:
     batches: int = 0
     coalesced: int = 0
     seconds: float = 0.0
-    latencies: deque = field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    latencies: Reservoir = field(
+        default_factory=lambda: Reservoir(maxlen=LATENCY_WINDOW))
 
     def observe(self, seconds: float, *, n_requests: int = 1) -> None:
         """Record one executed batch covering ``n_requests`` requests.
@@ -59,18 +60,14 @@ class KindStats:
         self.batches += 1
         self.seconds += float(seconds)
         for _ in range(max(1, int(n_requests))):
-            self.latencies.append(float(seconds))
+            self.latencies.observe(float(seconds))
 
     def percentile(self, q: float) -> float:
-        """Latency percentile ``q`` (0..100) over the reservoir, seconds."""
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        rank = (min(max(q, 0.0), 100.0) / 100.0) * (len(ordered) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        """Latency percentile ``q`` (0..100) over the reservoir, seconds.
+
+        Delegates to the shared :class:`~repro.obs.metrics.Reservoir`
+        implementation (0.0 while the window is empty)."""
+        return self.latencies.percentile(q)
 
     @property
     def p50(self) -> float:
@@ -84,11 +81,10 @@ class KindStats:
 
     def copy(self) -> "KindStats":
         """Independent snapshot of this kind's counters."""
-        out = KindStats(requests=self.requests, errors=self.errors,
-                        batches=self.batches, coalesced=self.coalesced,
-                        seconds=self.seconds)
-        out.latencies.extend(self.latencies)
-        return out
+        return KindStats(requests=self.requests, errors=self.errors,
+                         batches=self.batches, coalesced=self.coalesced,
+                         seconds=self.seconds,
+                         latencies=self.latencies.copy())
 
 
 @dataclass

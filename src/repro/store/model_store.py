@@ -44,6 +44,8 @@ from pathlib import Path
 
 from repro.exceptions import ValidationError
 from repro.linalg.backends import matrix_fingerprint
+from repro.obs.metrics import default_metrics
+from repro.obs.tracing import trace_span
 from repro.store.artifacts import (
     encode_json_value,
     load_artifact,
@@ -177,7 +179,7 @@ class ModelStore:
             options: Mapping | None = None,
             system_name: str | None = None) -> Path:
         """Store ``model`` under ``key`` (atomic; may trigger eviction)."""
-        with self._lock:
+        with self._lock, trace_span("store.put", key=key, method=method):
             path = save_artifact(model, self.artifact_path(key))
             meta = {
                 "key": key,
@@ -224,17 +226,27 @@ class ModelStore:
 
     def fetch_key(self, key: str):
         """Like :meth:`fetch` for a precomputed key."""
-        with self._lock:
+        with self._lock, trace_span("store.get", key=key) as span:
             if not self.contains(key):
                 self._stats.misses += 1
+                self._count("store.fetch", "miss")
+                span.set_tag("result", "miss")
                 return None
             try:
                 model = self.load(key)
             except ValidationError:
                 self._stats.misses += 1
+                self._count("store.fetch", "miss")
+                span.set_tag("result", "miss")
                 return None
             self._stats.hits += 1
+            self._count("store.fetch", "hit")
+            span.set_tag("result", "hit")
             return model
+
+    @staticmethod
+    def _count(name: str, result: str) -> None:
+        default_metrics().increment(name, result=result)
 
     def get_or_reduce(self, system, method: str, options: Mapping | None,
                       builder):
@@ -321,6 +333,7 @@ class ModelStore:
             self._remove(entry)
             total -= entry.n_bytes
             self._stats.evictions += 1
+            default_metrics().increment("store.evictions")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ModelStore(root={str(self.root)!r}, "

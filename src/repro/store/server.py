@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.analysis.engine import SweepEngine
 from repro.analysis.frequency import FrequencySweepResult
+from repro.obs.tracing import trace_span
 from repro.analysis.ir_drop import IRDropResult
 from repro.analysis.transient import TransientResult
 from repro.serve.executor import PlanExecutor, ServeError
@@ -219,7 +220,11 @@ class ModelServer:
         """
         planner = self.planner if coalesce is None \
             else QueryPlanner(coalesce=coalesce)
-        return self.executor.execute(planner.plan(requests))
+        with trace_span("serve.plan", n_requests=len(requests),
+                        coalesce=coalesce if coalesce is not None
+                        else self.planner.coalesce):
+            plan = planner.plan(requests)
+            return self.executor.execute(plan)
 
     def stats(self) -> ServerStats:
         """Legacy request/error/load counters of this server."""
