@@ -113,6 +113,8 @@ from repro import (
     eks_reduce,
     make_benchmark,
     max_relative_error,
+    multipoint_bdsm_reduce,
+    multipoint_prima_reduce,
     prima_reduce,
     save_artifact,
     svdmor_reduce,
@@ -241,6 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="with --partitions: recursion depth of "
                                  "the multilevel partitioned reduction "
                                  "(each level re-partitions its shards)")
+    reduce_cmd.add_argument("--points", metavar="S0,S1,...", default=None,
+                            help="comma-separated expansion points for a "
+                                 "multipoint reduction (bdsm/prima only; "
+                                 "accepts complex values like 1e3+1e6j)")
+    reduce_cmd.add_argument("--recycle",
+                            action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="recycle the Krylov basis across --points "
+                                 "shifts (skipping already-captured solves) "
+                                 "or, with --partitions, share bases "
+                                 "between content-identical shards; "
+                                 "--no-recycle forces the from-scratch "
+                                 "(bit-identical) path")
     _add_trace_out(reduce_cmd)
 
     bench_cmd = sub.add_parser(
@@ -418,12 +433,52 @@ def _cmd_benchmarks() -> int:
     return 0
 
 
+def _parse_points(spec: str) -> list[complex]:
+    """Parse the ``--points`` value: comma-separated python complex/floats."""
+    points: list[complex] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            points.append(complex(token))
+        except ValueError:
+            raise ValidationError(
+                f"--points: {token!r} is not a number (use python float/"
+                "complex syntax, e.g. 1e3 or 1e3+1e6j)") from None
+    if not points:
+        raise ValidationError("--points needs at least one expansion point")
+    return points
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     system = make_benchmark(args.benchmark, scale=args.scale)
     solver = _solver_options(args)
     partitions = getattr(args, "partitions", 1)
     if partitions < 1:
         raise ValidationError("--partitions must be >= 1")
+    points = None
+    if getattr(args, "points", None) is not None:
+        points = _parse_points(args.points)
+        if args.method not in ("bdsm", "prima"):
+            raise ValidationError(
+                f"--points drives the multipoint bdsm/prima reducers, "
+                f"not {args.method}")
+        if partitions > 1:
+            raise ValidationError(
+                "--points and --partitions are separate drivers; pick one")
+        if args.store is not None or args.from_store:
+            raise ValidationError(
+                "multipoint reductions are not store-memoized yet; drop "
+                "--store/--from-store")
+        if getattr(args, "jobs", 1) != 1:
+            raise ValidationError(
+                "--jobs does not apply to multipoint reductions")
+    recycle = bool(getattr(args, "recycle", False))
+    if recycle and points is None and partitions <= 1:
+        raise ValidationError(
+            "--recycle reuses bases across --points shifts or "
+            "--partitions shards; add one of them")
     if partitions > 1 and args.method not in _STORABLE_METHODS:
         raise ValidationError(
             f"--partitions shards {'/'.join(_STORABLE_METHODS)} "
@@ -477,7 +532,18 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         raise ValidationError(
             "--jobs parallelizes BDSM per-cluster chunks or partitioned "
             f"shards; monolithic {args.method} has no chunked reduction")
-    if partitions > 1:
+    if points is not None:
+        # Multipoint: one reduce spanning every expansion point, with
+        # optional cross-shift basis recycling.
+        if args.method == "bdsm":
+            rom, stats, seconds = multipoint_bdsm_reduce(
+                system, args.moments, points,
+                options=BDSMOptions(solver=solver), recycle=recycle)
+        else:
+            rom, stats, seconds = multipoint_prima_reduce(
+                system, args.moments, points, solver=solver,
+                recycle=recycle)
+    elif partitions > 1:
         # Sharded: shard reductions are independent, so a thread pool
         # fans them out; the store (if any) memoizes per shard.
         engine = SweepEngine(jobs=jobs) if jobs != 1 else None
@@ -486,7 +552,7 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
                 system, args.moments, levels=levels, n_parts=partitions,
                 partitioner=args.partitioner, method=args.method,
                 options=BDSMOptions(solver=solver), interface=interface,
-                engine=engine, store=store)
+                engine=engine, store=store, recycle=recycle)
         finally:
             if engine is not None:
                 engine.close()
@@ -517,6 +583,15 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
             f"{max_relative_error(system, rom, omegas):.2e}",
         "reusable": "yes" if rom.reusable else "no",
     }
+    if points is not None:
+        solves = sum(getattr(rom, "solve_counts", []) or [])
+        note = f"{len(points)} points, {solves} shifted solves"
+        recycle_stats = getattr(rom, "recycle_stats", None)
+        if recycle_stats is not None:
+            note += (f", recycled {recycle_stats.hits}/"
+                     f"{recycle_stats.screened} candidates "
+                     f"({recycle_stats.solves_skipped} solves skipped)")
+        row["multipoint"] = note
     if partitions > 1:
         info = rom.partition_info
         iface_note = f"interface {info.get('interface')}"

@@ -7,6 +7,14 @@ point are concatenated and re-orthonormalised *within the group*, so the
 per-port block grows to (at most) ``l * k`` for ``k`` points but the global
 ROM stays block-diagonal.  Real and imaginary parts of complex-point bases
 are split so the ROM remains real.
+
+With ``recycle=True`` every port group carries a
+:class:`~repro.linalg.recycle.RecycleWorkspace` across the expansion
+points: a port whose candidate at a new shift is already captured by its
+accumulated group basis drops out of the shared solve recursion, skipping
+its remaining shifted solves at that point.  ``rom.recycle_stats`` /
+``rom.solve_counts`` record the hits and the per-point solve columns.
+Recycling off (the default) is bit-identical to the from-scratch path.
 """
 
 from __future__ import annotations
@@ -21,16 +29,26 @@ from repro.core.structured_rom import BlockDiagonalROM, ROMBlock
 from repro.exceptions import ReductionError
 from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
 from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
+from repro.linalg.recycle import (
+    DEFAULT_RECYCLE_TOL,
+    RecycleStats,
+    RecycleWorkspace,
+    recycled_clustered_krylov_bases,
+)
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
+from repro.obs.tracing import trace_span, traced
 
 __all__ = ["multipoint_bdsm_reduce"]
 
 
+@traced("bdsm.multipoint_reduce")
 def multipoint_bdsm_reduce(system, moments_per_point: int,
                            expansion_points: Sequence[complex], *,
                            options: BDSMOptions | None = None,
-                           budget: ResourceBudget | None = None):
+                           budget: ResourceBudget | None = None,
+                           recycle: bool = False,
+                           recycle_tol: float = DEFAULT_RECYCLE_TOL):
     """BDSM with several expansion points.
 
     Parameters
@@ -47,6 +65,14 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
         basis retention).
     budget:
         Optional resource guard.
+    recycle:
+        Carry each port's accumulated group basis from one expansion
+        point into the next and skip the shifted solves of directions it
+        already captures.  Spans the same per-port subspaces up to
+        ``recycle_tol``; leave off for bit-identical moment matching.
+    recycle_tol:
+        Relative residual below which a port's candidate at a new shift
+        counts as captured by its recycled group basis.
 
     Returns
     -------
@@ -75,44 +101,78 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
 
     start = time.perf_counter()
     stats = OrthoStats()
+    recycle_stats = RecycleStats() if recycle else None
     operators = [ShiftedOperator(C, G, s0=point, solver=opts.solver)
                  for point in points]
+    # Densify the input matrix once for the whole reduce; every per-point
+    # basis construction and per-port projection below slices this one
+    # array instead of re-densifying B per (chunk x point).
+    B_dense = np.asarray(B.toarray(), dtype=float)
 
     blocks: list[ROMBlock] = []
     for chunk_start in range(0, m, chunk):
         chunk_columns = list(range(chunk_start, min(chunk_start + chunk, m)))
-        per_point_bases: list[list[np.ndarray]] = []
-        for operator, point in zip(operators, points):
-            bases, point_stats, _ = column_clustered_krylov_bases(
-                operator, B, moments_per_point,
-                deflation_tol=opts.deflation_tol,
-                columns=chunk_columns,
-                kernel=opts.ortho_kernel)
-            stats.merge(point_stats)
-            if complex(point).imag != 0.0:
-                bases = [np.hstack([np.real(b), np.imag(b)]) for b in bases]
-            else:
-                bases = [np.asarray(np.real(b), dtype=float) for b in bases]
-            per_point_bases.append(bases)
+        if recycle:
+            workspaces = [
+                RecycleWorkspace(n, recycle_tol=recycle_tol,
+                                 deflation_tol=opts.deflation_tol,
+                                 stats=recycle_stats)
+                for _ in chunk_columns]
+            for operator, point in zip(operators, points):
+                for workspace in workspaces:
+                    workspace.begin_shift()
+                with trace_span("multipoint.krylov", point=str(point),
+                                recycle=True):
+                    point_stats, _ = recycled_clustered_krylov_bases(
+                        operator, B_dense, moments_per_point,
+                        workspaces=workspaces, columns=chunk_columns)
+                stats.merge(point_stats)
+            combined_bases = [workspace.basis for workspace in workspaces]
+        else:
+            per_point_bases: list[list[np.ndarray]] = []
+            for operator, point in zip(operators, points):
+                with trace_span("multipoint.krylov", point=str(point),
+                                recycle=False):
+                    bases, point_stats, _ = column_clustered_krylov_bases(
+                        operator, B_dense, moments_per_point,
+                        deflation_tol=opts.deflation_tol,
+                        columns=chunk_columns,
+                        kernel=opts.ortho_kernel)
+                stats.merge(point_stats)
+                if complex(point).imag != 0.0:
+                    bases = [np.hstack([np.real(b), np.imag(b)])
+                             for b in bases]
+                else:
+                    bases = [np.asarray(np.real(b), dtype=float)
+                             for b in bases]
+                per_point_bases.append(bases)
+
+            combined_bases = []
+            with trace_span("multipoint.merge", ports=len(chunk_columns)):
+                for local_idx in range(len(chunk_columns)):
+                    combined = np.empty((n, 0))
+                    for bases in per_point_bases:
+                        candidate = bases[local_idx]
+                        # Whole-point-block merge into the port's group
+                        # basis: BLAS-3 CGS2 + rank-revealing QR per
+                        # expansion point.
+                        new_cols, merge_stats = block_orthonormalize(
+                            candidate,
+                            initial_basis=(combined if combined.size
+                                           else None),
+                            deflation_tol=opts.deflation_tol)
+                        stats.merge(merge_stats)
+                        if new_cols.size:
+                            combined = (np.hstack([combined, new_cols])
+                                        if combined.size else new_cols)
+                    combined_bases.append(combined)
 
         for local_idx, port in enumerate(chunk_columns):
-            combined = np.empty((n, 0))
-            for bases in per_point_bases:
-                candidate = bases[local_idx]
-                # Whole-point-block merge into the port's group basis:
-                # BLAS-3 CGS2 + rank-revealing QR per expansion point.
-                new_cols, merge_stats = block_orthonormalize(
-                    candidate,
-                    initial_basis=combined if combined.size else None,
-                    deflation_tol=opts.deflation_tol)
-                stats.merge(merge_stats)
-                if new_cols.size:
-                    combined = (np.hstack([combined, new_cols])
-                                if combined.size else new_cols)
+            combined = combined_bases[local_idx]
             if not combined.size:
                 raise ReductionError(
                     f"port {port}: multipoint basis is empty after deflation")
-            b_i = B[:, port].toarray().reshape(-1)
+            b_i = B_dense[:, port]
             blocks.append(ROMBlock(
                 index=port,
                 C=combined.T @ (C @ combined),
@@ -127,5 +187,9 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
         original_size=n, original_ports=m,
         name=f"{getattr(system, 'system', getattr(system, 'name', 'system'))}"
              f"-BDSM-mp")
+    rom.solve_counts = [op.solve_count  # type: ignore[attr-defined]
+                        for op in operators]
+    if recycle_stats is not None:
+        rom.recycle_stats = recycle_stats  # type: ignore[attr-defined]
     elapsed = time.perf_counter() - start
     return rom, stats, elapsed

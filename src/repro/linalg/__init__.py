@@ -15,6 +15,9 @@ Contents
 ``krylov``
     (Block) Krylov subspace construction around a shifted descriptor pencil,
     shared by PRIMA, EKS and BDSM.
+``recycle``
+    Basis recycling across expansion points (solve-skipping screening
+    against the accumulated basis) and fingerprint-keyed shard-basis reuse.
 ``blockdiag``
     Assembly and bookkeeping of block-diagonal sparse matrices.
 ``sparse_utils``
@@ -53,6 +56,14 @@ from repro.linalg.krylov import (
     column_clustered_krylov_bases,
 )
 from repro.linalg.moments import system_moments, transfer_moments
+from repro.linalg.recycle import (
+    DEFAULT_RECYCLE_TOL,
+    RecycleStats,
+    RecycleWorkspace,
+    ShardBasisCache,
+    recycled_block_krylov_basis,
+    recycled_clustered_krylov_bases,
+)
 from repro.linalg.orthogonalization import (
     OrthoStats,
     block_orthonormalize,
@@ -72,10 +83,14 @@ from repro.linalg.sparse_utils import (
 __all__ = [
     "BlockLayout",
     "CacheStats",
+    "DEFAULT_RECYCLE_TOL",
     "FactorizationCache",
     "KrylovResult",
     "LinearSolver",
     "OrthoStats",
+    "RecycleStats",
+    "RecycleWorkspace",
+    "ShardBasisCache",
     "ShiftedOperator",
     "SolverOptions",
     "SparsityInfo",
@@ -96,6 +111,8 @@ __all__ = [
     "nnz_density",
     "orthonormalize_against",
     "process_worker_init",
+    "recycled_block_krylov_basis",
+    "recycled_clustered_krylov_bases",
     "select_backend",
     "set_default_cache",
     "solve",

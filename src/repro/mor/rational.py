@@ -11,6 +11,15 @@ reference [15]); the BDSM-side extension lives in
 The basis is the union of the single-point block Krylov bases at every
 expansion point, re-orthonormalised globally; the congruence transform then
 matches the prescribed number of moments at each point (up to deflation).
+
+With ``recycle=True`` the per-point builds share a
+:class:`~repro.linalg.recycle.RecycleWorkspace`: candidates at shift
+``s_{j+1}`` are screened against the basis accumulated at ``s_1 .. s_j``
+first, and already-captured directions leave the Krylov recursion before
+their remaining shifted solves are spent.  The ROM then carries
+``rom.recycle_stats`` / ``rom.solve_counts`` so callers can audit the
+skipped work.  Recycling off (the default) is bit-identical to the
+from-scratch path.
 """
 
 from __future__ import annotations
@@ -24,18 +33,28 @@ from repro.exceptions import ReductionError
 from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
+from repro.linalg.recycle import (
+    DEFAULT_RECYCLE_TOL,
+    RecycleStats,
+    RecycleWorkspace,
+    recycled_block_krylov_basis,
+)
 from repro.mor.base import ResourceBudget
 from repro.mor.prima import congruence_project
+from repro.obs.tracing import trace_span, traced
 
 __all__ = ["multipoint_prima_reduce"]
 
 
+@traced("prima.multipoint_reduce")
 def multipoint_prima_reduce(system, moments_per_point: int,
                             expansion_points: Sequence[complex], *,
                             budget: ResourceBudget | None = None,
                             keep_projection: bool = False,
                             deflation_tol: float = 1e-12,
-                            solver: SolverOptions | None = None):
+                            solver: SolverOptions | None = None,
+                            recycle: bool = False,
+                            recycle_tol: float = DEFAULT_RECYCLE_TOL):
     """PRIMA-style congruence projection with several expansion points.
 
     Parameters
@@ -58,6 +77,14 @@ def multipoint_prima_reduce(system, moments_per_point: int,
     solver:
         Optional :class:`~repro.linalg.backends.SolverOptions` for the
         per-point shifted-pencil solves.
+    recycle:
+        Carry the accumulated basis from each expansion point into the
+        next and skip the shifted solves of directions it already
+        captures.  Spans the same subspace up to ``recycle_tol``; leave
+        off for bit-identical moment matching at every point.
+    recycle_tol:
+        Relative residual below which a candidate at a new shift counts
+        as captured by the recycled basis.
 
     Returns
     -------
@@ -76,27 +103,51 @@ def multipoint_prima_reduce(system, moments_per_point: int,
 
     start = time.perf_counter()
     stats = OrthoStats()
+    recycle_stats = RecycleStats() if recycle else None
+    workspace = (RecycleWorkspace(n, recycle_tol=recycle_tol,
+                                  deflation_tol=deflation_tol,
+                                  stats=recycle_stats)
+                 if recycle else None)
+    solve_counts: list[int] = []
     combined = np.empty((n, 0))
     for point in points:
         operator = ShiftedOperator(system.C, system.G, s0=point,
                                    solver=solver)
-        krylov = block_krylov_basis(operator, system.B, moments_per_point,
-                                    deflation_tol=deflation_tol)
+        if workspace is not None:
+            workspace.begin_shift()
+            with trace_span("multipoint.krylov", point=str(point),
+                            recycle=True) as span:
+                point_stats, added, _ = recycled_block_krylov_basis(
+                    operator, system.B, moments_per_point,
+                    workspace=workspace)
+                span.set_tag("columns_added", added)
+            stats.merge(point_stats)
+            solve_counts.append(operator.solve_count)
+            continue
+        with trace_span("multipoint.krylov", point=str(point),
+                        recycle=False):
+            krylov = block_krylov_basis(operator, system.B,
+                                        moments_per_point,
+                                        deflation_tol=deflation_tol)
         stats.merge(krylov.stats)
+        solve_counts.append(operator.solve_count)
         candidate = krylov.basis
         if np.iscomplexobj(candidate) or complex(point).imag != 0.0:
             candidate = np.hstack([np.real(candidate), np.imag(candidate)])
         # Whole-block merge against the combined basis: one BLAS-3 CGS2
         # sweep plus a rank-revealing QR instead of a per-column MGS loop.
-        new_cols, merge_stats = block_orthonormalize(
-            np.asarray(candidate, dtype=float),
-            initial_basis=combined if combined.size else None,
-            deflation_tol=deflation_tol)
+        with trace_span("multipoint.merge", point=str(point)):
+            new_cols, merge_stats = block_orthonormalize(
+                np.asarray(candidate, dtype=float),
+                initial_basis=combined if combined.size else None,
+                deflation_tol=deflation_tol)
         stats.merge(merge_stats)
         if new_cols.size:
             combined = (np.hstack([combined, new_cols])
                         if combined.size else new_cols)
 
+    if workspace is not None:
+        combined = workspace.basis
     if not combined.size:
         raise ReductionError("multipoint basis is empty after deflation")
     rom = congruence_project(
@@ -104,5 +155,8 @@ def multipoint_prima_reduce(system, moments_per_point: int,
         s0=points[0], n_moments=moments_per_point, reusable=True,
         keep_projection=keep_projection)
     rom.expansion_points = list(points)  # type: ignore[attr-defined]
+    rom.solve_counts = solve_counts  # type: ignore[attr-defined]
+    if recycle_stats is not None:
+        rom.recycle_stats = recycle_stats  # type: ignore[attr-defined]
     elapsed = time.perf_counter() - start
     return rom, stats, elapsed

@@ -34,6 +34,7 @@ from repro.analysis.engine import SweepEngine
 from repro.core.bdsm import BDSMOptions
 from repro.exceptions import PartitionError
 from repro.linalg.orthogonalization import OrthoStats
+from repro.linalg.recycle import ShardBasisCache
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
 from repro.partition.assemble import PartitionedROM, ReducedSubdomain
@@ -120,6 +121,8 @@ def multilevel_reduce(system, n_moments: int, *, levels: int = 1,
                       budget: ResourceBudget | None = None,
                       store=None, keep_projection: bool = False,
                       min_states: int = MIN_RECURSION_STATES,
+                      recycle: bool = False,
+                      basis_cache: ShardBasisCache | None = None,
                       ) -> tuple[PartitionedROM, OrthoStats, float]:
     """Recursively partitioned reduction, ``levels`` deep.
 
@@ -140,17 +143,25 @@ partitioned_reduce`.  For ``levels > 1`` the system is partitioned into
     Returns the same ``(rom, stats, seconds)`` triple as the single-level
     driver; ``rom.partition_info`` carries ``levels`` and one summary per
     child.
+
+    With ``recycle=True`` one :class:`~repro.linalg.recycle.ShardBasisCache`
+    is shared by the whole hierarchy — sibling shards at this level and
+    every shard of every recursive call below it — so content-identical
+    shards anywhere in the tree pay for one Krylov build.
     """
     if levels < 1:
         raise PartitionError("levels must be >= 1")
     if min_states < 1:
         raise PartitionError("min_states must be >= 1")
+    if basis_cache is None and recycle:
+        basis_cache = ShardBasisCache()
     if levels == 1:
         return partitioned_reduce(
             system, n_moments, s0=s0, n_parts=n_parts,
             partitioner=partitioner, method=method, options=options,
             interface=interface, engine=engine, n_workers=n_workers,
-            budget=budget, store=store, keep_projection=keep_projection)
+            budget=budget, store=store, keep_projection=keep_projection,
+            basis_cache=basis_cache)
 
     method = str(method).lower()
     if method not in _SHARD_REDUCERS:
@@ -194,7 +205,7 @@ partitioned_reduce`.  For ``levels > 1`` the system is partitioned into
                     n_parts=n_parts, partitioner=partitioner,
                     method=method, options=options, interface=interface,
                     budget=budget, store=store, keep_projection=True,
-                    min_states=min_states)
+                    min_states=min_states, basis_cache=basis_cache)
             except PartitionError:
                 # The shard is too small/irregular to split again (e.g. a
                 # part swallowed whole by its separator): degrade to a
@@ -213,7 +224,8 @@ partitioned_reduce`.  For ``levels > 1`` the system is partitioned into
         with scoped_timer("partition.shard_reduce"):
             basis, stats = reduce_shard(subdomain, n_moments, s0,
                                         opts, budget, store, result,
-                                        interface=iface_opts)
+                                        interface=iface_opts,
+                                        basis_cache=basis_cache)
         with scoped_timer("partition.project"):
             reduced = _project_subdomain(subdomain, basis,
                                          interface_basis)
@@ -242,6 +254,8 @@ partitioned_reduce`.  For ``levels > 1`` the system is partitioned into
     info = result.describe()
     info["levels"] = int(levels)
     info["children"] = [child for child in children if child is not None]
+    if basis_cache is not None:
+        info["shard_basis_cache"] = basis_cache.describe()
     if interface_basis is None:
         C_ss, G_ss = separator.C, separator.G
         B_s, L_s = separator.B, separator.L

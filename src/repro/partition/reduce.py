@@ -30,6 +30,7 @@ from repro.analysis.engine import SweepEngine
 from repro.core.bdsm import BDSMOptions, bdsm_reduce, bdsm_store_options
 from repro.exceptions import PartitionError
 from repro.linalg.orthogonalization import OrthoStats
+from repro.linalg.recycle import ShardBasisCache
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
 from repro.mor.prima import prima_reduce, prima_store_options
@@ -100,12 +101,35 @@ def partitioned_store_options(n_moments: int, *, s0: complex = 0.0,
     return {**base, "partition": record}
 
 
+def _shard_cache_key(subdomain: Subdomain, n_moments: int, s0: complex,
+                     method: str, opts: BDSMOptions,
+                     interface: PartitionedOptions | None) -> tuple:
+    """Content key for one shard basis (see :class:`ShardBasisCache`).
+
+    Keys on the shard's matrices plus every knob that changes the basis;
+    deliberately *excludes* the shard index, which is what lets
+    content-identical siblings (and child-level shards) share one build.
+    """
+    return ShardBasisCache.key_for(
+        subdomain.system, n_moments=n_moments, s0=complex(s0),
+        method=method, deflation_tol=opts.deflation_tol,
+        ortho_kernel=opts.ortho_kernel,
+        interface=(interface or PartitionedOptions()).describe())
+
+
 def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
                       opts: BDSMOptions, budget: ResourceBudget, store,
                       partition: PartitionResult,
                       interface: PartitionedOptions | None = None,
+                      basis_cache: ShardBasisCache | None = None,
                       ) -> tuple[np.ndarray, OrthoStats]:
     """Reduce one shard with BDSM and merge its block bases into one."""
+    if basis_cache is not None:
+        cache_key = _shard_cache_key(subdomain, n_moments, s0, "bdsm",
+                                     opts, interface)
+        cached = basis_cache.fetch(cache_key)
+        if cached is not None:
+            return cached, OrthoStats()
     shard_opts = BDSMOptions(
         keep_projection=True, deflation_tol=opts.deflation_tol,
         solver=opts.solver, ortho_kernel=opts.ortho_kernel)
@@ -133,6 +157,8 @@ def _shard_basis_bdsm(subdomain: Subdomain, n_moments: int, s0: complex,
             "deflated; the shard basis is empty")
     basis, merge_stats = _merge_cluster_bases(columns, opts.deflation_tol)
     stats.merge(merge_stats)
+    if basis_cache is not None:
+        basis_cache.store(cache_key, basis)
     return basis, stats
 
 
@@ -187,8 +213,15 @@ def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
                        opts: BDSMOptions, budget: ResourceBudget, store,
                        partition: PartitionResult,
                        interface: PartitionedOptions | None = None,
+                       basis_cache: ShardBasisCache | None = None,
                        ) -> tuple[np.ndarray, OrthoStats]:
     """Reduce one shard with PRIMA and return its global block basis."""
+    if basis_cache is not None:
+        cache_key = _shard_cache_key(subdomain, n_moments, s0, "prima",
+                                     opts, interface)
+        cached = basis_cache.fetch(cache_key)
+        if cached is not None:
+            return cached, OrthoStats()
     stats = OrthoStats()
 
     def build():
@@ -212,7 +245,10 @@ def _shard_basis_prima(subdomain: Subdomain, n_moments: int, s0: complex,
         raise PartitionError(
             f"subdomain {subdomain.index}: PRIMA returned no projection "
             "basis")
-    return np.asarray(rom.projection), stats
+    basis = np.asarray(rom.projection)
+    if basis_cache is not None:
+        basis_cache.store(cache_key, basis)
+    return basis, stats
 
 
 _SHARD_REDUCERS = {"bdsm": _shard_basis_bdsm, "prima": _shard_basis_prima}
@@ -284,6 +320,8 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
                        n_workers: int = 1,
                        budget: ResourceBudget | None = None,
                        store=None, keep_projection: bool = False,
+                       recycle: bool = False,
+                       basis_cache: ShardBasisCache | None = None,
                        ) -> tuple[PartitionedROM, OrthoStats, float]:
     """Shard, reduce the subdomains (optionally in parallel), reassemble.
 
@@ -333,6 +371,15 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
     keep_projection:
         Keep each shard's merged basis on its
         :class:`~repro.partition.assemble.ReducedSubdomain` record.
+    recycle:
+        Share shard projection bases between content-identical shards
+        through a :class:`~repro.linalg.recycle.ShardBasisCache`:
+        sibling shards with the same pencil, ports and interface
+        footprint (ubiquitous on regular grids) reuse one Krylov build.
+        Hit/miss counts land in ``rom.partition_info["shard_basis_cache"]``.
+    basis_cache:
+        Explicit shard-basis cache to draw from (implies ``recycle``);
+        pass one cache to several reductions to share bases across them.
 
     Returns
     -------
@@ -354,6 +401,8 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
             "the shards share the in-process store and solver caches")
     opts = options or BDSMOptions()
     budget = budget or ResourceBudget.unlimited()
+    if basis_cache is None and recycle:
+        basis_cache = ShardBasisCache()
 
     iface_opts = interface or PartitionedOptions()
 
@@ -380,7 +429,8 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
         with scoped_timer("partition.shard_reduce"):
             basis, stats = reduce_shard(subdomain, n_moments, s0, opts,
                                         budget, store, result,
-                                        interface=iface_opts)
+                                        interface=iface_opts,
+                                        basis_cache=basis_cache)
         with scoped_timer("partition.project"):
             reduced = _project_subdomain(subdomain, basis,
                                          interface_basis)
@@ -407,6 +457,8 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
         stats.merge(shard_stats)
 
     info = result.describe()
+    if basis_cache is not None:
+        info["shard_basis_cache"] = basis_cache.describe()
     if interface_basis is None:
         C_ss, G_ss = separator.C, separator.G
         B_s, L_s = separator.B, separator.L

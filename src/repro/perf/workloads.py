@@ -52,6 +52,15 @@ gate enforces — is part of every recorded run:
     planner must stay ≥2x the naive path within the usual tolerance.
     QPS and batch-latency percentiles are merged per scale into
     ``benchmarks/results/serving_load.json``.
+``multipoint_recycle``
+    Multipoint reduction with cross-shift basis recycling vs. the
+    from-scratch build on the same >=3-point shift list.  The **gated**
+    quantity is the shifted-solve ratio (scratch solve columns over
+    recycled solve columns — deterministic and machine-independent, the
+    unit the recycling work is counted in), asserted >= 1.5x inside the
+    workload alongside transfer-function parity of the two ROMs; wall
+    clocks are recorded for the trajectory.  Merged per scale into
+    ``benchmarks/results/multipoint_recycle.json``.
 ``obs_overhead``
     The observability layer's cost contract on the cold PRIMA reduce:
     tracing-disabled instrumentation overhead (no-op span price x spans
@@ -75,6 +84,7 @@ from repro.circuit.benchmarks import BENCHMARKS, make_benchmark
 from repro.circuit.mna import assemble_mna
 from repro.circuit.powergrid import build_power_grid, make_multidomain_spec
 from repro.core.bdsm import BDSMOptions, bdsm_reduce
+from repro.core.multipoint import multipoint_bdsm_reduce
 from repro.exceptions import ValidationError
 from repro.linalg.backends import clear_default_cache
 from repro.linalg.krylov import ShiftedOperator, krylov_candidate_blocks
@@ -83,6 +93,7 @@ from repro.linalg.orthogonalization import (
     modified_gram_schmidt,
 )
 from repro.mor.prima import prima_reduce
+from repro.mor.rational import multipoint_prima_reduce
 from repro.obs.metrics import default_metrics
 from repro.obs.tracing import (
     default_tracer,
@@ -479,6 +490,118 @@ def _serving_load_recorded(runner: BenchmarkRunner, benchmark: str,
     return entry
 
 
+#: Where the cross-shift recycling trajectory is recorded, merged per
+#: scale (the acceptance artifact of the basis-recycling PR).
+MULTIPOINT_RECYCLE_PATH = Path("benchmarks/results/multipoint_recycle.json")
+
+#: In-workload floor on the shifted-solve ratio: recycling must cut the
+#: solve columns of a >=3-point multipoint reduce by at least this factor.
+MULTIPOINT_RECYCLE_FLOOR = 1.5
+
+#: In-workload ceiling on the recycled-vs-scratch transfer-function
+#: disagreement over the 1e5-1e9 rad/s band.
+MULTIPOINT_RECYCLE_ERROR_BUDGET = 1e-6
+
+#: Shift lists of the ``multipoint_recycle`` workload per scale:
+#: (moments_per_point, expansion_points).  The points are clustered —
+#: the regime where neighbouring Krylov spaces overlap and recycling
+#: pays; >=3 points so the skipped work dominates the mandatory
+#: starting-block solves.
+_MULTIPOINT_SPECS = {
+    "smoke": (3, (1e3, 5e3, 2e4)),
+    "laptop": (4, (1e3, 5e3, 2e4, 1e5)),
+}
+
+
+def _multipoint_recycle(runner: BenchmarkRunner, benchmark: str,
+                        scale: str) -> dict:
+    """Cross-shift basis recycling vs. from-scratch multipoint reduction.
+
+    Runs the multipoint PRIMA reducer over a clustered shift list twice —
+    from scratch and with a shared
+    :class:`~repro.linalg.recycle.RecycleWorkspace` — and gates on the
+    **shifted-solve ratio**: the solve columns the scratch build spends
+    over what the recycled build spends.  Solve counts are exact and
+    deterministic (every right-hand-side column through the factorised
+    pencil is counted), so the gate is machine-independent where wall
+    clock is not; both wall clocks are still recorded.  The workload
+    asserts the ratio stays >= ``MULTIPOINT_RECYCLE_FLOOR`` and the two
+    ROMs agree in transfer function, and records the BDSM-side ratio on
+    the same shift list alongside.
+    """
+    system, _ = _grid(benchmark, scale)
+    moments, raw_points = _MULTIPOINT_SPECS.get(scale,
+                                                _MULTIPOINT_SPECS["laptop"])
+    points = [complex(p) for p in raw_points]
+    roms: dict[str, object] = {}
+
+    def run_scratch():
+        roms["scratch"] = multipoint_prima_reduce(system, moments, points)[0]
+
+    def run_recycled():
+        roms["recycled"] = multipoint_prima_reduce(system, moments, points,
+                                                   recycle=True)[0]
+
+    scratch = runner.time_callable(run_scratch, setup=clear_default_cache)
+    recycled = runner.time_callable(run_recycled, setup=clear_default_cache)
+
+    scratch_solves = sum(roms["scratch"].solve_counts)
+    recycled_solves = sum(roms["recycled"].solve_counts)
+    if recycled_solves <= 0:
+        raise ValidationError("multipoint_recycle: no solves recorded")
+    solve_ratio = scratch_solves / recycled_solves
+    agreement = rom_agreement_report(roms["scratch"], roms["recycled"],
+                                     np.logspace(5, 9, 7))
+    error = float(agreement["max_rel_error"])
+    if error > MULTIPOINT_RECYCLE_ERROR_BUDGET:
+        raise ValidationError(
+            f"multipoint_recycle: recycled ROM diverged from scratch "
+            f"(max rel TF error {error:.2e} > "
+            f"{MULTIPOINT_RECYCLE_ERROR_BUDGET:.0e})")
+    if solve_ratio < MULTIPOINT_RECYCLE_FLOOR:
+        raise ValidationError(
+            f"multipoint_recycle: solve ratio {solve_ratio:.2f}x below "
+            f"the {MULTIPOINT_RECYCLE_FLOOR}x floor "
+            f"({scratch_solves} scratch vs {recycled_solves} recycled "
+            "solve columns)")
+    recycle_stats = roms["recycled"].recycle_stats
+
+    # BDSM-side ratio on the same shift list: counted, not separately
+    # timed — solve counts are deterministic, and one extra pair of
+    # reduces keeps the workload cheap.
+    bdsm_scratch = multipoint_bdsm_reduce(system, moments, points)[0]
+    bdsm_recycled = multipoint_bdsm_reduce(system, moments, points,
+                                           recycle=True)[0]
+    bdsm_ratio = (sum(bdsm_scratch.solve_counts)
+                  / max(1, sum(bdsm_recycled.solve_counts)))
+
+    entry = {
+        "seconds": recycled,
+        "baseline_seconds": scratch,
+        # The gated, machine-independent quantity: how many shifted-solve
+        # columns recycling saves on the same shift list.
+        "speedup": solve_ratio,
+        "gate": True,
+        "grid": system.name,
+        "n": int(system.size),
+        "ports": int(system.n_ports),
+        "moments_per_point": int(moments),
+        "points": [str(p) for p in points],
+        "scratch_solves": int(scratch_solves),
+        "recycled_solves": int(recycled_solves),
+        "wall_speedup": scratch / recycled if recycled > 0 else 0.0,
+        "recycle_hits": int(recycle_stats.hits),
+        "recycle_screened": int(recycle_stats.screened),
+        "solves_skipped": int(recycle_stats.solves_skipped),
+        "bdsm_solve_ratio": bdsm_ratio,
+        "max_rel_error_vs_scratch": error,
+        "error_budget": MULTIPOINT_RECYCLE_ERROR_BUDGET,
+        "solve_ratio_floor": MULTIPOINT_RECYCLE_FLOOR,
+    }
+    _merge_scale(MULTIPOINT_RECYCLE_PATH, scale, entry)
+    return entry
+
+
 #: Where the tracing-overhead gate is recorded, merged per scale (the
 #: acceptance artifact of the observability layer).
 OBS_OVERHEAD_PATH = Path("benchmarks/results/obs_overhead.json")
@@ -597,6 +720,7 @@ WORKLOADS = {
     "partitioned_cold": _partitioned_cold,
     "partitioned_scaled": _partitioned_scaled,
     "serving_load": _serving_load_recorded,
+    "multipoint_recycle": _multipoint_recycle,
     "obs_overhead": _obs_overhead,
 }
 
