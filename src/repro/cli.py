@@ -69,7 +69,27 @@ script:
 ``python -m repro stats --benchmark ckt1 --method bdsm --serve``
     Same canned run, but print the collected counters, gauges and timer
     histograms in the Prometheus text exposition format (``--out`` writes
-    the exposition to a file for a file-based scrape).
+    the exposition to a file for a file-based scrape; ``--json-out``
+    writes the raw snapshots, re-renderable later via ``--from FILE``).
+
+``python -m repro trace --diff benchmarks/baselines/trace_profile.json --budget 20%``
+    Trace-diff regression gating: roll the current run (or ``--from
+    FILE`` — a Chrome trace or profile JSON) up by span path, attribute
+    the time delta against the baseline to phases, and exit non-zero
+    when any phase blew the budget.  ``--mode share`` gates
+    share-of-total instead of absolute seconds (hardware-portable — the
+    CI perf-smoke mode); ``--profile-out`` writes the committed-baseline
+    format.
+
+``python -m repro reduce --health --ledger runs/ledger.jsonl``
+    Observed run: ``--health`` turns on the numerical-health monitors
+    (orthogonality loss after every blocked merge, sampled solve
+    residuals, deflation/recycle rates, interface SVD tails) and prints
+    the watchdog verdict; ``--ledger`` appends a flight-recorder record
+    (git SHA, config fingerprint, duration, span rollup, counters,
+    health) to a JSONL file.  Both flags ride on ``reduce``, ``bench``,
+    ``query`` and ``serve-bench``; ``repro obs report --ledger PATH``
+    summarizes the recorded runs and their duration trends.
 
 ``python -m repro bench --quick --check``
     Run the named performance workloads of :mod:`repro.perf.workloads`
@@ -126,11 +146,23 @@ from repro.mor.prima import prima_store_options
 from repro.io import format_table
 from repro.linalg import available_backends, default_cache
 from repro.obs import (
+    RunLedger,
+    check_budget,
+    default_health,
+    diff_profiles,
+    disable_health_monitors,
     disable_tracing,
     drain_spans,
+    enable_health_monitors,
     enable_tracing,
+    format_diff,
+    load_profile,
+    parse_budget,
+    read_ledger,
     span_tree_report,
+    summarize_ledger,
     to_prometheus,
+    trace_profile,
     write_chrome_trace,
 )
 from repro.partition import (
@@ -359,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="warm-set byte budget (default: unlimited)")
     serve_cmd.add_argument("--output", metavar="PATH", default=None,
                            help="also record the run as JSON")
+    serve_cmd.add_argument("--metrics-port", type=int, default=None,
+                           metavar="PORT",
+                           help="expose /metrics (Prometheus) and /healthz "
+                                "on 127.0.0.1:PORT for the duration of "
+                                "the load test (0 picks a free port)")
     _add_trace_out(serve_cmd)
 
     for observe in ("trace", "stats"):
@@ -388,6 +425,53 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also write the Chrome trace JSON "
                                   "(trace) or the text exposition (stats) "
                                   "to PATH")
+        obs_cmd.add_argument("--from", dest="from_file", metavar="FILE",
+                             default=None,
+                             help="skip the canned run and read FILE "
+                                  "instead: a Chrome trace / trace profile "
+                                  "(trace) or a `stats --json-out` "
+                                  "snapshot (stats)")
+        if observe == "trace":
+            obs_cmd.add_argument("--profile-out", metavar="PATH",
+                                 default=None,
+                                 help="write the phase-rollup trace "
+                                      "profile JSON to PATH (the format "
+                                      "--diff compares against)")
+            obs_cmd.add_argument("--diff", metavar="BASELINE", default=None,
+                                 help="diff this run (or --from FILE) "
+                                      "against BASELINE (a trace profile "
+                                      "or Chrome trace) and print the "
+                                      "per-phase deltas")
+            obs_cmd.add_argument("--budget", metavar="PCT", default=None,
+                                 help="with --diff: exit 1 when a phase "
+                                      "regressed more than this budget "
+                                      "(e.g. '20%%' or '0.2')")
+            obs_cmd.add_argument("--mode", default="time",
+                                 choices=("time", "share"),
+                                 help="--budget gating mode: 'time' gates "
+                                      "absolute seconds (same machine); "
+                                      "'share' gates share-of-total "
+                                      "(hardware-portable, what CI uses)")
+        else:
+            obs_cmd.add_argument("--json-out", metavar="PATH", default=None,
+                                 help="also write the metrics+perf "
+                                      "snapshots as JSON (re-renderable "
+                                      "via `repro stats --from PATH`)")
+
+    flight_cmd = sub.add_parser(
+        "obs", help="flight-recorder utilities (`obs report`)")
+    flight_sub = flight_cmd.add_subparsers(dest="obs_action", required=True)
+    report_cmd = flight_sub.add_parser(
+        "report", help="summarize a run ledger: durations, trends, "
+                       "health verdicts per recorded run")
+    # dest differs from the generic --ledger recorder flag on purpose:
+    # reporting on a ledger must not append a record to it.
+    report_cmd.add_argument("--ledger", dest="ledger_file", metavar="PATH",
+                            required=True,
+                            help="ledger JSONL written via --ledger on "
+                                 "reduce/bench/query/serve-bench")
+    report_cmd.add_argument("--last", type=int, default=20,
+                            help="rows shown (most recent; default 20)")
 
     sweep_cmd = sub.add_parser(
         "sweep", help="frequency sweep of one transfer-matrix entry")
@@ -709,7 +793,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             prima_reduce(system, args.moments, store=store)
         engine = SweepEngine(jobs=args.jobs) if args.jobs != 1 else None
         with ModelServer(store, engine=engine, max_workers=args.workers,
-                         warm_budget=args.warm_budget) as server:
+                         warm_budget=args.warm_budget,
+                         metrics_port=args.metrics_port) as server:
+            if server.telemetry is not None:
+                print(f"telemetry: {server.telemetry.url}/metrics "
+                      f"and /healthz")
             server.warm()
             models = {name: server.registry.resolve(name)
                       for name in server.registry.known_names()}
@@ -722,6 +810,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                       coalesce=coalesce,
                                       collect_results=True)
             serving = server.serving_stats()
+            serve_health = serving.health_report()
             warm = server.warm_stats()
     naive, coalesced = runs["naive"], runs["coalesced"]
     bit_identical = all(
@@ -746,6 +835,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"warm set: loads={warm.loads} hits={warm.hits} "
           f"misses={warm.misses} evictions={warm.evictions} "
           f"resident_bytes={warm.resident_bytes}")
+    print(f"serving health: {serve_health.summary()}")
+    for check in serve_health.failed() + serve_health.warned():
+        print(f"  {check.status}: {check.monitor}={check.value:.4g} "
+              f"{check.labels} {check.detail}")
     if args.output is not None:
         payload = {
             "scale": args.scale,
@@ -764,6 +857,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "speedup": speedup,
             "bit_identical": bit_identical,
             "coalescing_rate": serving.coalescing_rate,
+            "health": serve_health.as_dict(),
         }
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -782,6 +876,16 @@ def _add_trace_out(cmd: argparse.ArgumentParser) -> None:
                      help="enable span tracing for this run and write the "
                           "Chrome trace-event JSON to PATH (open in "
                           "Perfetto / chrome://tracing)")
+    cmd.add_argument("--ledger", metavar="PATH", default=None,
+                     help="append one flight-recorder record for this run "
+                          "(JSONL: git SHA, config fingerprint, duration, "
+                          "span rollup, counters, health verdict) to PATH; "
+                          "summarize with `repro obs report --ledger PATH`")
+    cmd.add_argument("--health", action="store_true",
+                     help="enable the numerical-health monitors for this "
+                          "run (orthogonality loss, solve residuals, "
+                          "deflation/recycle rates, interface SVD tails) "
+                          "and print the watchdog verdict afterwards")
 
 
 def _run_observed(args: argparse.Namespace) -> None:
@@ -808,41 +912,120 @@ def _run_observed(args: argparse.Namespace) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    enable_tracing()
-    try:
-        _run_observed(args)
-    finally:
-        spans = drain_spans()
-        disable_tracing()
-    print(span_tree_report(spans, min_duration=args.min_ms / 1e3), end="")
-    if args.out is not None:
-        path = write_chrome_trace(spans, args.out)
-        print(f"chrome trace written to {path}")
+    if args.budget is not None and args.diff is None:
+        raise ValidationError("--budget gates a --diff; add --diff BASELINE")
+    spans = None
+    if args.from_file is not None:
+        # Offline: the "current" run is a file (Chrome trace or profile),
+        # so there is no span tree to print — only profile-level output.
+        try:
+            current = load_profile(args.from_file)
+        except (OSError, ValueError) as exc:
+            raise ValidationError(f"--from: {exc}") from exc
+    else:
+        enable_tracing()
+        try:
+            _run_observed(args)
+        finally:
+            spans = drain_spans()
+            disable_tracing()
+        current = trace_profile(spans)
+    if spans is not None:
+        print(span_tree_report(spans, min_duration=args.min_ms / 1e3),
+              end="")
+        if args.out is not None:
+            path = write_chrome_trace(spans, args.out)
+            print(f"chrome trace written to {path}")
+    if args.profile_out is not None:
+        import json
+        from pathlib import Path
+
+        path = Path(args.profile_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(current, indent=1, sort_keys=True)
+                        + "\n")
+        print(f"trace profile written to {path}")
+    if args.diff is not None:
+        try:
+            base = load_profile(args.diff)
+        except (OSError, ValueError) as exc:
+            raise ValidationError(f"--diff: {exc}") from exc
+        deltas = diff_profiles(base, current)
+        print(format_table(
+            format_diff(deltas),
+            title=f"trace diff vs {args.diff} "
+                  f"(total {base.get('total_s', 0.0):.4f}s -> "
+                  f"{current.get('total_s', 0.0):.4f}s)"))
+        if args.budget is not None:
+            try:
+                budget = parse_budget(args.budget)
+            except ValueError as exc:
+                raise ValidationError(f"--budget: {exc}") from exc
+            failures = check_budget(deltas, budget=budget, mode=args.mode)
+            if failures:
+                for failure in failures:
+                    print(f"trace regression: {failure}", file=sys.stderr)
+                return 1
+            print(f"trace diff OK: every phase within {args.budget} "
+                  f"({args.mode} mode)")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
     from repro.obs import default_metrics
     from repro.perf import default_registry
 
-    default_metrics().reset()
-    default_registry().reset()
-    enable_tracing()
-    try:
-        _run_observed(args)
-    finally:
-        drain_spans()
-        disable_tracing()
-    text = to_prometheus(default_metrics().snapshot(),
-                         default_registry().snapshot())
+    if args.from_file is not None:
+        try:
+            document = json.loads(Path(args.from_file).read_text())
+        except (OSError, ValueError) as exc:
+            raise ValidationError(f"--from: {exc}") from exc
+        if not isinstance(document, dict):
+            raise ValidationError(
+                f"--from: {args.from_file} is not a stats snapshot "
+                "(expected a JSON object with 'metrics'/'perf' keys)")
+        metrics_snapshot = document.get("metrics") or {}
+        perf_snapshot = document.get("perf") or {}
+    else:
+        default_metrics().reset()
+        default_registry().reset()
+        enable_tracing()
+        try:
+            _run_observed(args)
+        finally:
+            drain_spans()
+            disable_tracing()
+        metrics_snapshot = default_metrics().snapshot()
+        perf_snapshot = default_registry().snapshot()
+    text = to_prometheus(metrics_snapshot, perf_snapshot)
     print(text, end="")
     if args.out is not None:
-        from pathlib import Path
-
         path = Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text)
         print(f"metrics exposition written to {path}")
+    if args.json_out is not None:
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"metrics": metrics_snapshot, "perf": perf_snapshot},
+            indent=1, sort_keys=True, default=str) + "\n")
+        print(f"stats snapshot written to {path}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    records = read_ledger(args.ledger_file)
+    if not records:
+        print(f"ledger {args.ledger_file} has no readable records")
+        return 0
+    rows = summarize_ledger(records, last=args.last)
+    print(format_table(
+        rows, title=f"run ledger {args.ledger_file} "
+                    f"({len(records)} records, last {len(rows)})"))
     return 0
 
 
@@ -942,8 +1125,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: argparse fields excluded from a run's ledger config (they describe the
+#: observation, not the run, so recording them would change the config
+#: fingerprint and break across-run duration trends).
+_LEDGER_META_FIELDS = ("command", "ledger", "trace_out", "health")
+
+
+def _ledger_config(args: argparse.Namespace) -> dict:
+    return {key: value for key, value in sorted(vars(args).items())
+            if key not in _LEDGER_META_FIELDS}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import time
+
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
@@ -956,26 +1152,61 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "obs": _cmd_obs,
     }
     handler = commands.get(args.command)
     if handler is None:
         parser.error(f"unknown command {args.command!r}")
         return 2  # pragma: no cover
     trace_out = getattr(args, "trace_out", None)
-    if trace_out is not None:
+    ledger_path = getattr(args, "ledger", None)
+    use_health = bool(getattr(args, "health", False))
+    # A ledger record wants the span rollup, so --ledger turns tracing on
+    # even without --trace-out (tracing is bit-transparent to the run).
+    if trace_out is not None or ledger_path is not None:
         enable_tracing()
+    health_mark = None
+    if use_health:
+        enable_health_monitors()
+        health_mark = default_health().mark()
+    start = time.perf_counter()
+    exit_code = 1
     try:
-        return handler(args)
+        exit_code = handler(args)
+        return exit_code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
-        if trace_out is not None:
+        duration = time.perf_counter() - start
+        spans = None
+        if trace_out is not None or ledger_path is not None:
             spans = drain_spans()
             disable_tracing()
+        if trace_out is not None:
             path = write_chrome_trace(spans, trace_out)
             print(f"chrome trace written to {path} "
                   f"({len(spans)} spans)")
+        health_report = None
+        if use_health:
+            health_report = default_health().report(since=health_mark)
+            disable_health_monitors()
+            print(f"health: {health_report.summary()}")
+            for check in (health_report.failed()
+                          + health_report.warned()):
+                print(f"  {check.status}: {check.monitor}="
+                      f"{check.value:.4g} {check.detail}")
+        if ledger_path is not None:
+            from repro.obs import default_metrics
+
+            RunLedger(ledger_path).record(
+                args.command, config=_ledger_config(args),
+                duration_s=duration,
+                metrics=default_metrics().snapshot(), spans=spans,
+                health=health_report,
+                extra={"exit_code": exit_code})
+            print(f"ledger: recorded this {args.command} run in "
+                  f"{ledger_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

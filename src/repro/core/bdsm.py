@@ -44,6 +44,7 @@ from repro.linalg.krylov import ShiftedOperator, column_clustered_krylov_bases
 from repro.linalg.orthogonalization import OrthoStats
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
+from repro.obs.health import begin_reduce_health, finish_reduce_health
 from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
@@ -201,6 +202,7 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
                        what="BDSM chunked projection bases")
 
     start = time.perf_counter()
+    health_mark = begin_reduce_health()
     operator = ShiftedOperator(C, G, s0=s0, solver=opts.solver)
     stats = OrthoStats()
 
@@ -254,6 +256,7 @@ def bdsm_reduce(system, n_moments: int, *, s0: complex = 0.0,
         blocks, n_outputs=p, s0=s0, n_moments=n_moments,
         original_size=n, original_ports=m,
         name=f"{getattr(system, 'name', 'system')}-BDSM")
+    finish_reduce_health(health_mark, rom, stats, method="BDSM")
     elapsed = time.perf_counter() - start
     if store is not None:
         store.put(store_key, rom, method="BDSM", options=store_options,

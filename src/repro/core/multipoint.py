@@ -37,6 +37,7 @@ from repro.linalg.recycle import (
 )
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ResourceBudget
+from repro.obs.health import begin_reduce_health, finish_reduce_health
 from repro.obs.tracing import trace_span, traced
 
 __all__ = ["multipoint_bdsm_reduce"]
@@ -100,6 +101,7 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
         what="multipoint BDSM chunked projection bases")
 
     start = time.perf_counter()
+    health_mark = begin_reduce_health()
     stats = OrthoStats()
     recycle_stats = RecycleStats() if recycle else None
     operators = [ShiftedOperator(C, G, s0=point, solver=opts.solver)
@@ -191,5 +193,7 @@ def multipoint_bdsm_reduce(system, moments_per_point: int,
                         for op in operators]
     if recycle_stats is not None:
         rom.recycle_stats = recycle_stats  # type: ignore[attr-defined]
+    finish_reduce_health(health_mark, rom, stats, method="BDSM-mp",
+                         recycle_stats=recycle_stats)
     elapsed = time.perf_counter() - start
     return rom, stats, elapsed

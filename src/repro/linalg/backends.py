@@ -46,6 +46,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import SingularSystemError, SolverBackendError
+from repro.obs.health import default_health, health_enabled
 from repro.obs.metrics import default_metrics
 from repro.obs.tracing import trace_span
 from repro.linalg.sparse_utils import (
@@ -196,6 +197,13 @@ class LinearSolver:
         self.options = options
         self.dtype = np.dtype(complex if np.iscomplexobj(
             matrix.data if sp.issparse(matrix) else matrix) else float)
+        # Residual health probe: only solvers built while the monitors
+        # are enabled keep a matrix reference (so the disabled path pays
+        # nothing and holds nothing alive).  Cached solvers constructed
+        # before enabling therefore never probe — clear the cache when
+        # switching monitoring on mid-process.
+        self._solves = 0
+        self._health_matrix = matrix if health_enabled() else None
 
     # -- helpers ---------------------------------------------------------- #
     def _prepare_rhs(self, rhs) -> tuple[np.ndarray, bool]:
@@ -211,6 +219,26 @@ class LinearSolver:
         dense = np.ascontiguousarray(dense, dtype=self.dtype)
         return dense, single
 
+    def _record_residual(self, rhs: np.ndarray,
+                         solution: np.ndarray) -> None:
+        """Sampled relative-residual probe of the health monitors.
+
+        Costs one SpMM per sampled solve (the first, then every
+        :data:`RESIDUAL_SAMPLE_EVERY`-th), nothing at all when the
+        monitors were off at construction time.
+        """
+        self._solves += 1
+        A = self._health_matrix
+        if A is None or (self._solves - 1) % RESIDUAL_SAMPLE_EVERY:
+            return
+        residual = np.asarray(A @ solution) - rhs
+        denom = float(np.linalg.norm(rhs))
+        value = (float(np.linalg.norm(residual)) / denom
+                 if denom > 0.0 else 0.0)
+        default_health().record(
+            "solve.residual", value, backend=self.name,
+            detail=f"n={self.n} nrhs={rhs.shape[1]} solve={self._solves}")
+
     def solve(self, rhs) -> np.ndarray:
         """Solve ``A x = rhs`` for a vector or an ``(n, k)`` block."""
         raise NotImplementedError
@@ -218,6 +246,11 @@ class LinearSolver:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n={self.n})"
 
+
+#: Solve-call sampling stride of the residual health probe (the first
+#: solve after factorisation is always probed — that is where a bad
+#: factorisation shows up — then every Nth).
+RESIDUAL_SAMPLE_EVERY = 16
 
 _BACKENDS: dict[str, type[LinearSolver]] = {}
 
@@ -250,6 +283,7 @@ class SpluSolver(LinearSolver):
     def solve(self, rhs) -> np.ndarray:
         dense, single = self._prepare_rhs(rhs)
         out = self._factor.solve(dense)
+        self._record_residual(dense, out)
         return out[:, 0] if single else out
 
 
@@ -294,6 +328,7 @@ class CholeskySolver(LinearSolver):
     def solve(self, rhs) -> np.ndarray:
         dense, single = self._prepare_rhs(rhs)
         out = self._factor.solve(dense)
+        self._record_residual(dense, out)
         return out[:, 0] if single else out
 
 
@@ -327,6 +362,7 @@ class DenseSolver(LinearSolver):
             raise SingularSystemError(
                 "dense LU solve produced non-finite values; the matrix is "
                 "singular")
+        self._record_residual(dense, out)
         return out[:, 0] if single else out
 
 
@@ -386,6 +422,7 @@ class IterativeSolver(LinearSolver):
         out = np.empty_like(dense)
         for j in range(dense.shape[1]):
             out[:, j] = self._solve_column(dense[:, j])
+        self._record_residual(dense, out)
         return out[:, 0] if single else out
 
 

@@ -51,17 +51,52 @@ import numpy as np
 import scipy.linalg
 
 from repro.exceptions import DeflationError
+from repro.obs.health import default_health, health_enabled
 
 __all__ = [
     "OrthoStats",
     "block_orthonormalize",
     "modified_gram_schmidt",
+    "orthogonality_loss",
     "orthonormalize_against",
 ]
 
 #: Default tolerance below which a candidate vector is considered linearly
 #: dependent on the existing basis ("deflated" in Krylov terminology).
 DEFAULT_DEFLATION_TOL = 1e-12
+
+#: Column cap of the :func:`orthogonality_loss` health probe: the Gram
+#: subsample costs ``n * cap^2`` flops per merge, which keeps the
+#: monitors-enabled reduce within the ``health_overhead`` 5% budget.
+HEALTH_LOSS_COLUMNS = 32
+
+#: Fresh QR factorisations (no ``init`` basis) are probed one-in-N;
+#: cross-basis merges are always probed.  See :func:`_should_probe`.
+HEALTH_FRESH_PROBE_EVERY = 8
+
+_fresh_probe_count = 0
+
+
+def orthogonality_loss(basis: np.ndarray, *,
+                       max_columns: int = HEALTH_LOSS_COLUMNS) -> float:
+    """``||Q^T Q - I||_max`` of (a deterministic subsample of) ``basis``.
+
+    The health monitors' orthogonality probe: for wide bases only an
+    evenly spaced subsample of ``max_columns`` columns enters the Gram
+    matrix, bounding the probe at ``n * max_columns^2`` flops while still
+    catching a basis whose columns have drifted from orthonormality
+    (drift from a broken merge contaminates every later column, so a
+    spread subsample sees it).
+    """
+    Q = np.asarray(basis)
+    if Q.ndim != 2 or Q.shape[1] == 0:
+        return 0.0
+    k = Q.shape[1]
+    if k > max_columns:
+        idx = np.linspace(0, k - 1, max_columns).round().astype(int)
+        Q = Q[:, np.unique(idx)]
+    gram = Q.conj().T @ Q
+    return float(np.max(np.abs(gram - np.eye(gram.shape[0]))))
 
 
 @dataclass
@@ -546,7 +581,48 @@ def block_orthonormalize(
         W, orig_norms, deflation_tol, require_full_rank=require_full_rank)
     stats = _columnwise_equivalent_stats(orig_norms, deflated, n_existing,
                                          reorthogonalize)
-    return np.asarray(basis, dtype=dtype), stats
+    basis = np.asarray(basis, dtype=dtype)
+    if health_enabled() and basis.shape[1] and _should_probe(init):
+        # Probe the *merged* basis — new columns must stay orthogonal to
+        # the initial basis too, which is exactly what a broken CGS2
+        # projection loses.  Every blocked merge funnels through here
+        # (PRIMA splits, BDSM cluster merges, recycle absorbs), so this
+        # one hook covers them all.  Subsample before stacking so wide
+        # merges never pay a full-basis copy for the probe.
+        total = n_existing + basis.shape[1]
+        if init is None:
+            merged = basis
+        elif total <= HEALTH_LOSS_COLUMNS:
+            merged = np.hstack([init, basis])
+        else:
+            idx = np.unique(np.linspace(0, total - 1, HEALTH_LOSS_COLUMNS)
+                            .round().astype(int))
+            merged = np.column_stack(
+                [init[:, i] if i < n_existing else basis[:, i - n_existing]
+                 for i in idx])
+        default_health().record(
+            "ortho.loss", orthogonality_loss(merged),
+            detail=f"n={n} columns={total} "
+                   f"deflated={stats.deflations}")
+    return basis, stats
+
+
+def _should_probe(init) -> bool:
+    """Sampling policy of the ortho.loss probe (monitors enabled only).
+
+    Merges against an existing basis (``init`` given) are always probed:
+    cross-basis CGS2 is where orthogonality actually breaks, and those
+    merges are few (multipoint points, recycle absorptions).  Fresh QR
+    factorisations (``init is None`` — e.g. one per BDSM port cluster)
+    rarely drift, so only every :data:`HEALTH_FRESH_PROBE_EVERY`-th is
+    probed; this is what keeps the monitors-enabled reduce inside the
+    ``health_overhead`` 5% budget on cluster-heavy reduces.
+    """
+    if init is not None:
+        return True
+    global _fresh_probe_count
+    _fresh_probe_count += 1
+    return (_fresh_probe_count - 1) % HEALTH_FRESH_PROBE_EVERY == 0
 
 
 def theoretical_inner_products(m: int, l: int, *, clustered: bool) -> int:

@@ -25,6 +25,7 @@ from repro.linalg.krylov import ShiftedOperator, block_krylov_basis
 from repro.linalg.orthogonalization import OrthoStats, block_orthonormalize
 from repro.linalg.sparse_utils import to_csr
 from repro.mor.base import ReducedSystem, ResourceBudget
+from repro.obs.health import begin_reduce_health, finish_reduce_health
 from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
@@ -166,6 +167,7 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
     budget.check_dense(q_expected, 2 * q_expected, what="PRIMA dense ROM")
 
     start = time.perf_counter()
+    health_mark = begin_reduce_health()
     operator = ShiftedOperator(system.C, system.G, s0=s0, solver=solver)
     with scoped_timer("prima.krylov"):
         krylov = block_krylov_basis(operator, system.B, n_moments,
@@ -188,6 +190,7 @@ def prima_reduce(system, n_moments: int, *, s0: complex = 0.0,
         rom = congruence_project(
             system, basis, method="PRIMA", s0=s0, n_moments=n_moments,
             reusable=True, keep_projection=keep_projection)
+    finish_reduce_health(health_mark, rom, stats, method="PRIMA")
     elapsed = time.perf_counter() - start
     if store is not None:
         store.put(store_key, rom, method="PRIMA", options=store_options,

@@ -41,6 +41,7 @@ from repro.linalg.recycle import (
 )
 from repro.mor.base import ResourceBudget
 from repro.mor.prima import congruence_project
+from repro.obs.health import begin_reduce_health, finish_reduce_health
 from repro.obs.tracing import trace_span, traced
 
 __all__ = ["multipoint_prima_reduce"]
@@ -102,6 +103,7 @@ def multipoint_prima_reduce(system, moments_per_point: int,
     budget.check_dense(n, q_upper, what="multipoint PRIMA projection basis")
 
     start = time.perf_counter()
+    health_mark = begin_reduce_health()
     stats = OrthoStats()
     recycle_stats = RecycleStats() if recycle else None
     workspace = (RecycleWorkspace(n, recycle_tol=recycle_tol,
@@ -158,5 +160,8 @@ def multipoint_prima_reduce(system, moments_per_point: int,
     rom.solve_counts = solve_counts  # type: ignore[attr-defined]
     if recycle_stats is not None:
         rom.recycle_stats = recycle_stats  # type: ignore[attr-defined]
+    finish_reduce_health(health_mark, rom, stats,
+                         method="multipoint-PRIMA",
+                         recycle_stats=recycle_stats)
     elapsed = time.perf_counter() - start
     return rom, stats, elapsed

@@ -101,7 +101,11 @@ def _labels_text(labels: dict) -> str:
         return ""
     parts = []
     for key in sorted(labels):
-        value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+        # Exposition-format escapes: backslash, quote AND newline — an
+        # unescaped newline in a label value splits the sample line and
+        # corrupts everything after it.
+        value = (str(labels[key]).replace("\\", "\\\\")
+                 .replace('"', '\\"').replace("\n", "\\n"))
         parts.append(f'{_LABEL_NAME_RE.sub("_", str(key))}="{value}"')
     return "{" + ",".join(parts) + "}"
 
@@ -190,8 +194,16 @@ def span_tree_report(spans, *, min_duration: float = 0.0) -> str:
 
     lines: list[str] = []
 
+    def survives(span: Span) -> bool:
+        """A span stays when it (or any descendant) beats the floor —
+        pruning a fast parent must not orphan its slow children."""
+        if span.duration >= min_duration:
+            return True
+        return any(survives(child)
+                   for child in children.get(span.span_id, ()))
+
     def render(span: Span, depth: int) -> None:
-        if span.duration < min_duration:
+        if not survives(span):
             return
         tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
         flag = "" if span.status == "ok" else f"  !! {span.status}"

@@ -1,0 +1,182 @@
+"""Run flight recorder: an append-only JSONL ledger of observed runs.
+
+Every ``reduce`` / ``bench`` / ``serve-bench`` / ``query`` invocation
+that passes ``--ledger PATH`` appends one JSON line describing the run:
+when it ran and on what code (git SHA, dirty flag), what it was asked to
+do (a config fingerprint plus the config itself), what the telemetry saw
+(span-path rollups, metric counters), and how healthy it was (the
+:class:`~repro.obs.health.HealthReport` verdict).  The file is plain
+JSONL — greppable, diffable, appendable from concurrent runs (one
+``write`` per record), and ``repro obs report`` summarizes trends across
+it.
+
+Corrupt lines (a crashed writer, a merge artifact) are skipped on read,
+never fatal: a flight recorder that refuses to play back because one
+frame is torn is useless.
+
+Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.obs.diff import span_rollup
+
+__all__ = [
+    "RunLedger",
+    "config_fingerprint",
+    "read_ledger",
+    "summarize_ledger",
+]
+
+LEDGER_SCHEMA = 1
+
+
+def config_fingerprint(config: dict | None) -> str:
+    """Short stable digest of a run configuration.
+
+    Runs with the same fingerprint asked for the same thing, so their
+    durations and counters are comparable across the ledger.
+    """
+    canonical = json.dumps(config or {}, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _git_revision(cwd: Path) -> dict:
+    """Best-effort ``{"sha": ..., "dirty": ...}`` of the repo at ``cwd``."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        return {"sha": sha, "dirty": bool(status)}
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": None, "dirty": None}
+
+
+def _counter_rollup(metrics_snapshot: dict | None) -> dict[str, float]:
+    """Flatten a metrics snapshot's counters to ``name{labels}: value``."""
+    out: dict[str, float] = {}
+    for entry in (metrics_snapshot or {}).get("counters", ()):
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted((entry.get("labels") or {}).items()))
+        key = entry["name"] + (f"{{{labels}}}" if labels else "")
+        out[key] = out.get(key, 0.0) + float(entry["value"])
+    return out
+
+
+class RunLedger:
+    """Appender for one ledger file."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def record(self, kind: str, *, config: dict | None = None,
+               duration_s: float | None = None,
+               results: dict | None = None,
+               metrics: dict | None = None,
+               spans=None,
+               health=None,
+               extra: dict | None = None) -> dict:
+        """Build, append and return one run record.
+
+        ``health`` is a :class:`~repro.obs.health.HealthReport` (or its
+        ``as_dict`` form); ``metrics`` a ``MetricsRegistry.snapshot``
+        dict; ``spans`` a span list to roll up by path.
+        """
+        record: dict = {
+            "schema": LEDGER_SCHEMA,
+            "kind": str(kind),
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+            "unix_time": round(time.time(), 3),
+            # The revision of the code that *ran*, so cwd — not the
+            # ledger's directory, which may live outside any repo.
+            "git": _git_revision(Path.cwd()),
+            "config_fingerprint": config_fingerprint(config),
+        }
+        if config is not None:
+            record["config"] = {k: v for k, v in sorted(config.items())}
+        if duration_s is not None:
+            record["duration_s"] = float(duration_s)
+        if results:
+            record["results"] = results
+        if spans:
+            record["span_rollup"] = span_rollup(spans)
+        counters = _counter_rollup(metrics)
+        if counters:
+            record["counters"] = counters
+        if health is not None:
+            report = health if isinstance(health, dict) else health.as_dict()
+            record["health"] = report
+        if extra:
+            record["extra"] = extra
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self.path.open("a") as fh:
+            fh.write(line)
+        return record
+
+
+def read_ledger(path) -> list[dict]:
+    """All parseable records of a ledger file, oldest first."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def summarize_ledger(records: list[dict], *, last: int = 20) -> list[dict]:
+    """Table rows summarizing the most recent ``last`` records.
+
+    Each row carries the run's identity (time, kind, git SHA, config
+    fingerprint), its health verdict, its duration, and the duration
+    *trend* against the previous record with the same kind and config
+    fingerprint — the across-runs comparison the flight recorder exists
+    for.
+    """
+    previous: dict[tuple, float] = {}
+    rows = []
+    for record in records:
+        key = (record.get("kind"), record.get("config_fingerprint"))
+        duration = record.get("duration_s")
+        trend = ""
+        if duration is not None:
+            prior = previous.get(key)
+            if prior and prior > 0:
+                change = duration / prior - 1.0
+                trend = f"{change:+.0%}"
+            previous[key] = float(duration)
+        health = record.get("health") or {}
+        sha = (record.get("git") or {}).get("sha") or ""
+        rows.append({
+            "time": record.get("time", "?"),
+            "kind": record.get("kind", "?"),
+            "git": sha[:10] + ("*" if (record.get("git") or {}).get("dirty")
+                               else ""),
+            "config": record.get("config_fingerprint", "")[:8],
+            "duration (s)": (round(float(duration), 3)
+                             if duration is not None else ""),
+            "trend": trend,
+            "health": health.get("status", ""),
+            "fails": len([c for c in health.get("checks", ())
+                          if c.get("status") == "fail"]),
+        })
+    return rows[-last:]

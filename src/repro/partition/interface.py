@@ -53,6 +53,7 @@ from repro.circuit.mna import DescriptorSystem
 from repro.exceptions import PartitionError
 from repro.linalg.backends import SolverOptions
 from repro.linalg.krylov import ShiftedOperator
+from repro.obs.health import default_health, health_enabled
 from repro.partition.extract import SeparatorBlock, Subdomain
 
 __all__ = [
@@ -325,6 +326,15 @@ def interface_krylov_basis(subdomains: list[Subdomain],
         rank = 0
     rank = max(rank, 1) if sv.size else 0
     W = np.ascontiguousarray(U[:, :rank])
+    if health_enabled() and sv.size:
+        total = float(np.sum(sv * sv))
+        tail = (float(np.sqrt(np.sum(sv[rank:] ** 2) / total))
+                if total > 0.0 else 0.0)
+        default_health().record(
+            "interface.svd_tail", tail,
+            warn_at=10.0 * float(tol), fail_at=100.0 * float(tol),
+            detail=f"rank={rank} candidates={stack.shape[1]} "
+                   f"order={order}")
     return InterfaceBasis(W=W, order=order, tol=float(tol),
                           candidates=int(stack.shape[1]),
                           singular_values=sv)

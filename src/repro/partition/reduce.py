@@ -43,6 +43,7 @@ from repro.partition.interface import (
     compress_subdomain,
     interface_krylov_basis,
 )
+from repro.obs.health import begin_reduce_health, finish_reduce_health
 from repro.obs.tracing import traced
 from repro.perf.timers import scoped_timer
 
@@ -407,6 +408,7 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
     iface_opts = interface or PartitionedOptions()
 
     start = time.perf_counter()
+    health_mark = begin_reduce_health()
     with scoped_timer("partition.partition"):
         result = GridPartitioner(k=n_parts,
                                  strategy=partitioner).partition(system)
@@ -487,4 +489,6 @@ def partitioned_reduce(system, n_moments: int, *, s0: complex = 0.0,
             interface_basis=(None if interface_basis is None
                              else interface_basis.W),
         )
+    finish_reduce_health(health_mark, rom, stats,
+                         method=f"partitioned-{method.upper()}")
     return rom, stats, time.perf_counter() - start

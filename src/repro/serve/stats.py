@@ -26,6 +26,12 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.health import (
+    DEFAULT_THRESHOLDS,
+    HealthCheck,
+    HealthReport,
+    classify,
+)
 from repro.obs.metrics import Reservoir
 
 __all__ = ["KindStats", "ServingStats", "StatsRecorder", "REQUEST_KINDS"]
@@ -135,6 +141,50 @@ class ServingStats:
         """Fraction of requests absorbed by dedup/coalescing."""
         total = self.requests
         return self.coalesced / total if total else 0.0
+
+    def health_report(self) -> "HealthReport":
+        """Classify the serving SLOs into a :class:`HealthReport`.
+
+        Three monitor families, thresholds from
+        :data:`~repro.obs.health.DEFAULT_THRESHOLDS`:
+
+        * ``serve.p99_seconds`` per request kind (kinds that saw no
+          traffic are skipped — an idle kind is not unhealthy),
+        * ``serve.queue_depth`` on the *current* depth, and
+        * ``serve.error_rate`` over all requests so far.
+
+        Built on demand from a snapshot, with no side effects on the
+        process-wide monitor log — this is the verdict ``/healthz``
+        serves and ``serve-bench`` prints, not a hot-path watchdog.
+        """
+        checks: list[HealthCheck] = []
+
+        def check(monitor: str, value: float, detail: str,
+                  **labels) -> None:
+            spec = DEFAULT_THRESHOLDS.get(monitor, {})
+            warn_at = spec.get("warn_at")
+            fail_at = spec.get("fail_at")
+            direction = spec.get("direction", "above")
+            checks.append(HealthCheck(
+                monitor=monitor, value=float(value),
+                status=classify(float(value), warn_at=warn_at,
+                                fail_at=fail_at, direction=direction),
+                warn_at=warn_at, fail_at=fail_at, direction=direction,
+                detail=detail, labels=dict(labels)))
+
+        for kind, entry in sorted(self.kinds.items()):
+            if not entry.requests:
+                continue
+            check("serve.p99_seconds", entry.p99,
+                  f"requests={entry.requests} p50={entry.p50:.6f}",
+                  kind=kind)
+        check("serve.queue_depth", self.queue_depth,
+              f"peak={self.queue_depth_peak}")
+        total = self.requests
+        if total:
+            check("serve.error_rate", self.errors / total,
+                  f"errors={self.errors} requests={total}")
+        return HealthReport(checks=checks)
 
 
 class StatsRecorder:

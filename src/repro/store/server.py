@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.analysis.engine import SweepEngine
 from repro.analysis.frequency import FrequencySweepResult
+from repro.obs.endpoint import TelemetryServer
 from repro.obs.tracing import trace_span
 from repro.analysis.ir_drop import IRDropResult
 from repro.analysis.transient import TransientResult
@@ -96,6 +97,14 @@ class ModelServer:
     coalesce:
         Default planning mode of :meth:`serve` (per-call overridable).
         Coalesced results are bit-identical to the per-request path.
+    metrics_port:
+        When set, start a stdlib
+        :class:`~repro.obs.endpoint.TelemetryServer` sidecar on
+        ``127.0.0.1:<metrics_port>`` (0 picks a free port; read it back
+        from ``server.telemetry.port``) serving ``/metrics`` (Prometheus
+        text: the default metrics registry plus the perf-timer snapshot)
+        and ``/healthz`` (the :meth:`health` verdict as JSON, HTTP 503 on
+        ``fail``).  The sidecar is closed by :meth:`close`.
     """
 
     _KINDS = ("transfer", "sweep", "transient", "ir_drop")
@@ -104,7 +113,8 @@ class ModelServer:
                  engine: SweepEngine | None = None,
                  max_workers: int = 4,
                  warm_budget: int | None = None,
-                 coalesce: bool = True) -> None:
+                 coalesce: bool = True,
+                 metrics_port: int | None = None) -> None:
         self.store = store
         self.engine = engine if engine is not None else SweepEngine(jobs=1)
         self.registry = ModelRegistry(store, warm_budget=warm_budget)
@@ -113,6 +123,16 @@ class ModelServer:
         self.executor = PlanExecutor(self.registry, self.engine,
                                      max_workers=max_workers,
                                      stats=self._recorder)
+        self.telemetry: TelemetryServer | None = None
+        if metrics_port is not None:
+            from repro.obs.metrics import default_metrics
+            from repro.perf.timers import default_registry
+            self.telemetry = TelemetryServer(
+                port=int(metrics_port),
+                metrics_fn=lambda: default_metrics().snapshot(),
+                perf_fn=lambda: default_registry().snapshot(),
+                health_fn=lambda: self.health().as_dict())
+            self.telemetry.start()
 
     # ------------------------------------------------------------------ #
     # Registry
@@ -238,13 +258,23 @@ class ModelServer:
         """Per-kind latency/queue-depth/coalescing statistics."""
         return self._recorder.snapshot()
 
+    def health(self):
+        """The serving-SLO :class:`~repro.obs.health.HealthReport`
+        (per-kind p99, queue depth, error rate) — what ``/healthz``
+        serves when a ``metrics_port`` is configured."""
+        return self._recorder.snapshot().health_report()
+
     def warm_stats(self):
         """Warm-set hit/miss/eviction/skip counters
         (:class:`~repro.serve.registry.WarmSetStats`)."""
         return self.registry.stats()
 
     def close(self) -> None:
-        """Shut down the worker pool (the registry stays usable)."""
+        """Shut down the worker pool and any telemetry sidecar (the
+        registry stays usable)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
         self.executor.close()
 
     def __enter__(self) -> "ModelServer":

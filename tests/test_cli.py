@@ -271,3 +271,102 @@ class TestPartitionedReduceCommand:
                      "--partitions", "0"])
         assert code == 1
         assert "--partitions" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    @staticmethod
+    def _profile(path, phases):
+        import json
+        total = sum(t for p, t in phases.items() if "/" not in p)
+        path.write_text(json.dumps({
+            "schema": 1, "kind": "trace_profile", "total_s": total,
+            "phases": {p: {"count": 1, "total_s": t}
+                       for p, t in phases.items()}}))
+        return str(path)
+
+    def test_trace_diff_gates_seeded_regression(self, capsys, tmp_path):
+        base = self._profile(tmp_path / "base.json",
+                             {"reduce": 1.0, "reduce/ortho": 0.4})
+        # Seeded 50% phase regression, well past the 20% budget.
+        cur = self._profile(tmp_path / "cur.json",
+                            {"reduce": 1.2, "reduce/ortho": 0.6})
+        code = main(["trace", "--from", cur, "--diff", base,
+                     "--budget", "20%"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "trace regression" in captured.err
+        assert "reduce/ortho" in captured.err
+
+    def test_trace_diff_within_budget_passes(self, capsys, tmp_path):
+        base = self._profile(tmp_path / "base.json",
+                             {"reduce": 1.0, "reduce/ortho": 0.4})
+        cur = self._profile(tmp_path / "cur.json",
+                            {"reduce": 1.02, "reduce/ortho": 0.42})
+        code = main(["trace", "--from", cur, "--diff", base,
+                     "--budget", "20%"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace diff OK" in out
+
+    def test_trace_budget_requires_diff(self, capsys):
+        assert main(["trace", "--budget", "20%"]) == 1
+        assert "--diff" in capsys.readouterr().err
+
+    def test_trace_profile_out_self_diff_is_clean(self, capsys, tmp_path):
+        profile = tmp_path / "profile.json"
+        assert main(["trace", "--benchmark", "ckt1", "--method", "bdsm",
+                     "--profile-out", str(profile)]) == 0
+        capsys.readouterr()
+        code = main(["trace", "--from", str(profile), "--diff",
+                     str(profile), "--budget", "20%", "--mode", "share"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace diff OK" in out
+
+    def test_stats_json_out_round_trips_through_from(self, capsys,
+                                                     tmp_path):
+        import json
+        dump = tmp_path / "stats.json"
+        assert main(["stats", "--json-out", str(dump)]) == 0
+        capsys.readouterr()
+        payload = json.loads(dump.read_text())
+        assert set(payload) >= {"metrics", "perf"}
+        assert main(["stats", "--from", str(dump)]) == 0
+
+    def test_ledger_flag_records_and_obs_report_reads(self, capsys,
+                                                      tmp_path):
+        from repro.obs.ledger import read_ledger
+        ledger = tmp_path / "ledger.jsonl"
+        argv = ["reduce", "--benchmark", "ckt1", "--moments", "3",
+                "--ledger", str(ledger)]
+        assert main(argv) == 0
+        assert "ledger: recorded" in capsys.readouterr().out
+        assert main(argv) == 0
+        capsys.readouterr()
+        records = read_ledger(ledger)
+        assert len(records) == 2
+        assert records[0]["kind"] == "reduce"
+        assert records[0]["config"]["benchmark"] == "ckt1"
+        assert records[0]["span_rollup"]
+        assert main(["obs", "report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "reduce" in out and "trend" in out
+        # Reporting must not append to the ledger it reads.
+        assert len(read_ledger(ledger)) == 2
+
+    def test_health_flag_prints_verdict_and_feeds_ledger(self, capsys,
+                                                         tmp_path):
+        from repro.obs.ledger import read_ledger
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["reduce", "--benchmark", "ckt1", "--moments", "3",
+                     "--health", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        (record,) = read_ledger(ledger)
+        assert record["health"]["status"] in ("ok", "warn")
+        assert record["health"]["checks"]
+
+    def test_obs_report_empty_ledger_is_clean(self, capsys, tmp_path):
+        assert main(["obs", "report", "--ledger",
+                     str(tmp_path / "none.jsonl")]) == 0
+        assert "no readable records" in capsys.readouterr().out

@@ -400,6 +400,52 @@ class TestExporters:
     def test_span_tree_report_empty(self):
         assert span_tree_report([]) == "(no spans recorded)\n"
 
+    def test_prometheus_empty_snapshots_are_empty(self):
+        assert to_prometheus(None, None) == ""
+        assert to_prometheus({}, {}) == ""
+        assert to_prometheus(MetricsRegistry().snapshot(),
+                             PerfRegistry().snapshot()) == ""
+
+    def test_prometheus_escapes_label_newlines(self):
+        # Regression: an unescaped newline in a label value splits the
+        # sample line and corrupts every sample after it.
+        metrics = MetricsRegistry()
+        metrics.increment("store.fetch", detail='line1\nline2"quoted"\\')
+        text = to_prometheus(metrics.snapshot())
+        sample_lines = [line for line in text.splitlines()
+                        if not line.startswith("#")]
+        assert len(sample_lines) == 1
+        assert '\\n' in sample_lines[0]
+        assert '\\"quoted\\"' in sample_lines[0]
+        assert sample_lines[0].endswith(" 1")
+
+    def test_prometheus_type_lines_deduplicated(self):
+        metrics = MetricsRegistry()
+        metrics.increment("store.fetch", result="hit")
+        metrics.increment("store.fetch", result="miss")
+        metrics.set_gauge("queue.depth", 1, kind="a")
+        metrics.set_gauge("queue.depth", 2, kind="b")
+        text = to_prometheus(metrics.snapshot())
+        type_lines = [line for line in text.splitlines()
+                      if line.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines)) == 2
+
+    def test_span_tree_pruning_keeps_parents_of_slow_children(self):
+        def span(name, span_id, parent_id, duration):
+            return {"name": name, "trace_id": "t", "span_id": span_id,
+                    "parent_id": parent_id, "duration": duration}
+
+        report = span_tree_report(
+            [span("root", "a", None, 0.001),
+             span("slow", "b", "a", 0.5),
+             span("fast", "c", "a", 0.001)],
+            min_duration=0.1)
+        # The fast root survives because its slow child does; the fast
+        # leaf is pruned.
+        assert "root" in report
+        assert "slow" in report
+        assert "fast" not in report
+
 
 # --------------------------------------------------------------------- #
 # Serve-stack topology
